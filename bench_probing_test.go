@@ -1,0 +1,78 @@
+package ecsdns
+
+import (
+	"net/netip"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/geo"
+	"ecsdns/internal/netem"
+	"ecsdns/internal/resolver"
+)
+
+type resolverProfile = resolver.Profile
+
+func profAlways() resolverProfile { return resolver.GoogleLikeProfile() }
+
+func profLoopback() resolverProfile {
+	p := resolver.LoopbackProberProfile()
+	p.ProbeNames = nil // probe with whatever name arrives
+	return p
+}
+
+func profOwnAddr() resolverProfile {
+	p := resolver.LoopbackProberProfile()
+	p.ProbeWithLoopback = false
+	p.ProbeWithOwnAddr = true
+	p.ProbeNames = nil
+	return p
+}
+
+// measureLeak drives one resolver with the given profile against a
+// non-ECS authority and counts upstream queries that carried real client
+// address bits.
+func measureLeak(profile resolver.Profile) (leaked, total int) {
+	world := geo.Build(geo.Config{Seed: 5, NumASes: 80, BlocksPerAS: 1})
+	net := netem.New(world)
+	authAddr := world.AddrInCity(0, 1, 53)
+	auth := authority.NewServer(authority.Config{
+		Addr: authAddr,
+		// ECS disabled: a non-adopting authority, so every conveyed
+		// client prefix is a pointless privacy loss.
+		ECSEnabled: false,
+		Now:        net.Clock().Now,
+	})
+	z := authority.NewZone("probe.example.", 20)
+	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")})
+	auth.AddZone(z)
+	auth.SetLog(func(r authority.LogRecord) {
+		total++
+		if r.QueryHasECS && r.QueryECS.IsRoutable() &&
+			r.QueryECS.Addr != ecsopt.MaskAddr(resolverSelf, 24) {
+			leaked++
+		}
+	})
+	net.Register(authAddr, auth)
+
+	dir := resolver.NewDirectory()
+	dir.Add("probe.example.", authAddr)
+	res := resolver.New(resolver.Config{
+		Addr: resolverSelf, Transport: net, Now: net.Clock().Now,
+		Directory: dir, Profile: profile, Seed: 1,
+	})
+	net.Register(resolverSelf, res)
+
+	client := world.AddrInCity(2, 3, 10)
+	for i := 0; i < 30; i++ {
+		name := dnswire.Name(rune('a'+i%26)) + "x.probe.example."
+		q := dnswire.NewQuery(uint16(i+1), dnswire.MustParseName(string(name)), dnswire.TypeA)
+		q.EDNS = dnswire.NewEDNS()
+		net.Exchange(client, resolverSelf, q) //nolint:errcheck
+		net.Clock().Advance(30 * time.Second)
+	}
+	return leaked, total
+}
+
+var resolverSelf = netip.MustParseAddr("1.0.0.53")

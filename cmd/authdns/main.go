@@ -1,0 +1,131 @@
+// Command authdns runs the paper's experimental authoritative
+// nameserver on real UDP+TCP sockets: it serves a wildcard zone,
+// answers ECS queries with a configurable scope policy (the paper used
+// scope = source − 4 for its scan), and logs every query's ECS
+// parameters to stdout — the raw material of the passive datasets.
+//
+// Usage:
+//
+//	authdns [-listen 127.0.0.1:5300] [-zone scan.example.org] \
+//	        [-answer 192.0.2.53] [-ttl 30] [-scope source-4|echo|N] \
+//	        [-zonefile db.example]
+//
+// Try it with cmd/ecsscan or dig:
+//
+//	dig @127.0.0.1 -p 5300 +subnet=203.0.113.0/24 test.scan.example.org
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnsserver"
+	"ecsdns/internal/dnswire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5300", "UDP+TCP listen address")
+	zoneName := flag.String("zone", "scan.example.org", "zone to serve (wildcard A for all names)")
+	zoneFile := flag.String("zonefile", "", "serve records from an RFC 1035 master file instead of the wildcard zone")
+	answer := flag.String("answer", "192.0.2.53", "wildcard A answer")
+	ttl := flag.Uint("ttl", 30, "answer TTL in seconds")
+	scopeSpec := flag.String("scope", "source-4", "ECS scope policy: source-4, echo, or a fixed number")
+	quiet := flag.Bool("quiet", false, "suppress per-query logging")
+	flag.Parse()
+
+	origin, err := dnswire.ParseName(*zoneName)
+	if err != nil {
+		log.Fatalf("authdns: bad zone: %v", err)
+	}
+	addr, err := netip.ParseAddr(*answer)
+	if err != nil {
+		log.Fatalf("authdns: bad answer address: %v", err)
+	}
+	scope, err := parseScope(*scopeSpec)
+	if err != nil {
+		log.Fatalf("authdns: %v", err)
+	}
+
+	srv := authority.NewServer(authority.Config{
+		ECSEnabled: true,
+		Scope:      scope,
+		Now:        time.Now,
+	})
+	var zone *authority.Zone
+	if *zoneFile != "" {
+		f, err := os.Open(*zoneFile)
+		if err != nil {
+			log.Fatalf("authdns: %v", err)
+		}
+		zone, err = authority.ParseZoneFile(f, origin)
+		f.Close()
+		if err != nil {
+			log.Fatalf("authdns: %v", err)
+		}
+		origin = zone.Origin
+	} else {
+		zone = authority.NewZone(origin, uint32(*ttl))
+		zone.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: addr})
+		zone.MustAdd(dnswire.RR{Name: origin, Data: dnswire.NSRData{Host: mustPrepend(origin, "ns1")}})
+	}
+	srv.AddZone(zone)
+	if !*quiet {
+		srv.SetLog(func(r authority.LogRecord) {
+			ecs := "-"
+			if r.QueryHasECS {
+				ecs = r.QueryECS.String()
+			}
+			fmt.Printf("%s resolver=%s q=%s/%s ecs=%s scope=%d rcode=%s\n",
+				r.Time.Format(time.RFC3339), r.Resolver, r.Name, r.Type, ecs, r.RespScope, r.RCode)
+		})
+	}
+
+	ds := dnsserver.New(srv)
+	bound, err := ds.Start(*listen)
+	if err != nil {
+		log.Fatalf("authdns: %v", err)
+	}
+	log.Printf("authdns: serving %s on %s (udp+tcp), scope policy %s", origin, bound, *scopeSpec)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("authdns: shutting down")
+	ds.Close()
+}
+
+func parseScope(spec string) (authority.ScopeFunc, error) {
+	switch {
+	case spec == "echo":
+		return authority.ScopeEcho(), nil
+	case strings.HasPrefix(spec, "source-"):
+		d, err := strconv.Atoi(strings.TrimPrefix(spec, "source-"))
+		if err != nil || d < 0 || d > 128 {
+			return nil, fmt.Errorf("bad scope spec %q", spec)
+		}
+		return authority.ScopeSourceMinus(uint8(d)), nil
+	default:
+		n, err := strconv.Atoi(spec)
+		if err != nil || n < 0 || n > 128 {
+			return nil, fmt.Errorf("bad scope spec %q", spec)
+		}
+		return authority.ScopeFixed(uint8(n)), nil
+	}
+}
+
+func mustPrepend(origin dnswire.Name, label string) dnswire.Name {
+	n, err := origin.Prepend(label)
+	if err != nil {
+		log.Fatalf("authdns: %v", err)
+	}
+	return n
+}

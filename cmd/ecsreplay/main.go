@@ -1,0 +1,66 @@
+// Command ecsreplay runs the §7 cache simulations over a trace CSV (as
+// produced by cmd/tracegen or exported from real logs in the same
+// schema): blow-up factor, coverage-aware hit rates, and bounded-LRU
+// eviction behavior.
+//
+// Usage:
+//
+//	tracegen -dataset allnames | ecsreplay
+//	ecsreplay -in trace.csv -capacity 8192
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"ecsdns/internal/cachesim"
+	"ecsdns/internal/traces"
+)
+
+func main() {
+	in := flag.String("in", "-", "trace CSV path (- for stdin)")
+	capacity := flag.Int("capacity", 0, "also replay through a bounded LRU of this many entries")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("ecsreplay: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := traces.ReadRecords(bufio.NewReader(r))
+	if err != nil {
+		log.Fatalf("ecsreplay: %v", err)
+	}
+	if len(recs) == 0 {
+		log.Fatal("ecsreplay: empty trace")
+	}
+
+	blow := cachesim.Blowup(recs, 0)
+	plain := cachesim.HitRate(recs, false)
+	ecs := cachesim.HitRate(recs, true)
+
+	fmt.Printf("trace: %d records, %s → %s\n",
+		len(recs), recs[0].Time.Format("15:04:05"), recs[len(recs)-1].Time.Format("15:04:05"))
+	fmt.Printf("max cache size:  %6d with ECS, %6d without → blow-up %.2f×\n",
+		blow.MaxWithECS, blow.MaxWithoutECS, blow.Factor())
+	fmt.Printf("hit rate:        %6.1f%% with ECS, %6.1f%% without\n",
+		ecs.Rate(), plain.Rate())
+
+	if *capacity > 0 {
+		be := cachesim.BoundedReplay(recs, *capacity, true)
+		bp := cachesim.BoundedReplay(recs, *capacity, false)
+		fmt.Printf("bounded LRU (%d entries):\n", *capacity)
+		fmt.Printf("  with ECS:    hit %6.1f%%, %6.2f premature evictions/100q\n",
+			be.HitRate(), be.EvictionRate())
+		fmt.Printf("  without ECS: hit %6.1f%%, %6.2f premature evictions/100q\n",
+			bp.HitRate(), bp.EvictionRate())
+	}
+}

@@ -1,0 +1,103 @@
+// Command ecsscan probes a DNS resolver over real sockets for its ECS
+// behavior, a single-target version of the paper's §6.3 methodology: it
+// checks EDNS/ECS support, whether client-supplied prefixes are
+// accepted or overridden, which source prefix lengths come back, and —
+// when pointed at a cooperating authority like cmd/authdns — whether
+// the resolver honors ECS scopes in its cache.
+//
+// Usage:
+//
+//	ecsscan [-resolver 127.0.0.1:5301] [-name test.scan.example.org] \
+//	        [-prefix 198.51.100.0/24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+
+	"ecsdns/internal/dnsclient"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+func main() {
+	target := flag.String("resolver", "127.0.0.1:5301", "resolver to probe (host:port)")
+	nameStr := flag.String("name", "test.scan.example.org", "base hostname to query (unique labels are prepended per trial)")
+	prefixStr := flag.String("prefix", "198.51.100.0/24", "client subnet to inject")
+	flag.Parse()
+
+	base, err := dnswire.ParseName(*nameStr)
+	if err != nil {
+		log.Fatalf("ecsscan: bad name: %v", err)
+	}
+	prefix, err := netip.ParsePrefix(*prefixStr)
+	if err != nil {
+		log.Fatalf("ecsscan: bad prefix: %v", err)
+	}
+	client := &dnsclient.Client{}
+	trial := 0
+	uniq := func() dnswire.Name {
+		trial++
+		n, err := base.Prepend(fmt.Sprintf("probe%d", os.Getpid()%10000+trial))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+
+	// Trial 1: plain query — is the resolver answering at all?
+	name := uniq()
+	resp, err := client.Query(*target, name, dnswire.TypeA, nil)
+	if err != nil {
+		log.Fatalf("ecsscan: resolver unreachable: %v", err)
+	}
+	fmt.Printf("plain query: rcode=%s answers=%d edns=%v\n",
+		resp.RCode, len(resp.Answers), resp.EDNS != nil)
+
+	// Trial 2: ECS query — does an option come back, and at what scope?
+	cs := ecsopt.MustNew(prefix.Addr(), prefix.Bits())
+	name = uniq()
+	resp, err = client.Query(*target, name, dnswire.TypeA, &cs)
+	if err != nil {
+		log.Fatalf("ecsscan: ECS query failed: %v", err)
+	}
+	got, ok := dnsclient.ECSFromResponse(resp)
+	if !ok {
+		fmt.Println("ECS query: no ECS option in response — resolver path does not speak ECS")
+		return
+	}
+	fmt.Printf("ECS query: echoed %s (scope %d)\n", got, got.ScopePrefix)
+	switch {
+	case got.Addr == cs.Addr && got.SourcePrefix == cs.SourcePrefix:
+		fmt.Println("  resolver path accepted the injected prefix (technique-1 capable)")
+	case got.SourcePrefix == cs.SourcePrefix:
+		fmt.Println("  prefix length preserved but address rewritten (sender-derived)")
+	default:
+		fmt.Printf("  prefix transformed to /%d — truncation or capping in the path\n", got.SourcePrefix)
+	}
+
+	// Trial 3: cache-scope check — same name, sibling /24 in the same
+	// /16. A second cache miss (observable as a fresh upstream answer
+	// only at the authority) cannot be seen from here, but a compliant
+	// resolver at least returns a scope consistent with the first
+	// answer.
+	sibling := prefix.Addr().As4()
+	sibling[2] ^= 0x01
+	cs2 := ecsopt.MustNew(netip.AddrFrom4(sibling), prefix.Bits())
+	resp, err = client.Query(*target, name, dnswire.TypeA, &cs2)
+	if err != nil {
+		log.Fatalf("ecsscan: second ECS query failed: %v", err)
+	}
+	got2, ok2 := dnsclient.ECSFromResponse(resp)
+	fmt.Printf("sibling-/24 query: ecs=%v", ok2)
+	if ok2 {
+		fmt.Printf(" echoed %s (scope %d)", got2, got2.ScopePrefix)
+	}
+	fmt.Println()
+	if ok && ok2 && got.ScopePrefix >= 24 && got2.Addr == got.Addr {
+		fmt.Println("  WARNING: same scoped answer served across /24s — scope possibly ignored")
+	}
+}

@@ -1,0 +1,126 @@
+// Command recursor runs the module's ECS recursive resolver on real
+// UDP+TCP sockets with a selectable behavior profile, forwarding cache
+// misses to a configured authoritative server. Pointing it at authdns
+// gives a two-process, real-socket replica of the paper's measurement
+// setup.
+//
+// Usage:
+//
+//	recursor [-listen 127.0.0.1:5301] [-zone scan.example.org] \
+//	         [-upstream 127.0.0.1:5300] [-profile compliant]
+//
+// Profiles: compliant, google, jammed, ignore-scope, cap22,
+// long-prefix, private-prefix, loopback-prober, none.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ecsdns/internal/dnsclient"
+	"ecsdns/internal/dnsserver"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/resolver"
+)
+
+// socketTransport adapts the stub client to the resolver's Transport
+// interface, mapping simulation addresses to the single configured
+// upstream socket.
+type socketTransport struct {
+	client   *dnsclient.Client
+	upstream string
+}
+
+func (t *socketTransport) Exchange(_, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	start := time.Now()
+	resp, err := t.client.Exchange(t.upstream, q)
+	return resp, time.Since(start), err
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5301", "UDP+TCP listen address")
+	zoneName := flag.String("zone", "scan.example.org", "zone served by the upstream authority")
+	upstream := flag.String("upstream", "127.0.0.1:5300", "authoritative server address")
+	profileName := flag.String("profile", "compliant", "ECS behavior profile")
+	flag.Parse()
+
+	zone, err := dnswire.ParseName(*zoneName)
+	if err != nil {
+		log.Fatalf("recursor: bad zone: %v", err)
+	}
+	profile, err := profileByName(*profileName)
+	if err != nil {
+		log.Fatalf("recursor: %v", err)
+	}
+
+	// The directory routes the configured zone (and everything else) to
+	// a placeholder address; the socket transport ignores it and talks
+	// to the upstream socket.
+	placeholder := netip.MustParseAddr("192.0.2.1")
+	dir := resolver.NewDirectory()
+	dir.Add(zone, placeholder)
+	dir.Add(dnswire.Root, placeholder)
+
+	host, _, err := net.SplitHostPort(*listen)
+	if err != nil {
+		log.Fatalf("recursor: bad listen address: %v", err)
+	}
+	selfAddr, err := netip.ParseAddr(host)
+	if err != nil {
+		log.Fatalf("recursor: bad listen host: %v", err)
+	}
+
+	res := resolver.New(resolver.Config{
+		Addr:      selfAddr,
+		Transport: &socketTransport{client: &dnsclient.Client{}, upstream: *upstream},
+		Now:       time.Now,
+		Directory: dir,
+		Profile:   profile,
+		Seed:      time.Now().UnixNano(),
+	})
+
+	srv := dnsserver.New(res)
+	bound, err := srv.Start(*listen)
+	if err != nil {
+		log.Fatalf("recursor: %v", err)
+	}
+	log.Printf("recursor: %s profile on %s, upstream %s", *profileName, bound, *upstream)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	client, up := res.Counters()
+	log.Printf("recursor: served %d client queries, sent %d upstream", client, up)
+	srv.Close()
+}
+
+func profileByName(name string) (resolver.Profile, error) {
+	switch name {
+	case "compliant":
+		return resolver.CompliantProfile(), nil
+	case "google":
+		return resolver.GoogleLikeProfile(), nil
+	case "jammed":
+		return resolver.JammedProfile(), nil
+	case "ignore-scope":
+		return resolver.IgnoreScopeProfile(), nil
+	case "cap22":
+		return resolver.Cap22Profile(), nil
+	case "long-prefix":
+		return resolver.LongPrefixProfile(), nil
+	case "private-prefix":
+		return resolver.PrivatePrefixProfile(), nil
+	case "loopback-prober":
+		return resolver.LoopbackProberProfile(), nil
+	case "none":
+		return resolver.NonECSProfile(), nil
+	}
+	return resolver.Profile{}, fmt.Errorf("unknown profile %q", name)
+}

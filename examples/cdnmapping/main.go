@@ -1,0 +1,82 @@
+// CDN mapping: the latency win ECS gives clients of far-away public
+// resolvers — and the damage a hidden resolver does to it. This is the
+// paper's motivating scenario (§1, §8.2) as a runnable program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/cdn"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/geo"
+	"ecsdns/internal/netem"
+	"ecsdns/internal/resolver"
+)
+
+func main() {
+	world := geo.Build(geo.DefaultConfig)
+	net := netem.New(world)
+
+	// A CDN with edges everywhere and an ECS-enabled authoritative.
+	policy := cdn.NewGoogleLike(world)
+	authAddr := world.AddrInCity(geo.CityIndex("Frankfurt"), 9, 53)
+	auth := authority.NewCDNServer(authority.Config{
+		Addr:       authAddr,
+		ECSEnabled: true,
+		Now:        net.Clock().Now,
+	}, "cdn.example.net.", policy, 20)
+	net.Register(authAddr, auth)
+
+	dir := resolver.NewDirectory()
+	dir.Add("cdn.example.net.", authAddr)
+
+	// A public resolver in Mountain View, used by a client in Sydney.
+	newResolver := func(profile resolver.Profile, salt int) *resolver.Resolver {
+		addr := world.AddrInCity(geo.CityIndex("Mountain View"), salt, 53)
+		r := resolver.New(resolver.Config{
+			Addr: addr, Transport: net, Now: net.Clock().Now,
+			Directory: dir, Profile: profile, Seed: int64(salt),
+		})
+		net.Register(addr, r)
+		return r
+	}
+	client := world.AddrInCity(geo.CityIndex("Sydney"), 7, 10)
+	clientLoc, _ := world.Locate(client)
+
+	fetch := func(label string, via netip.Addr) {
+		q := dnswire.NewQuery(1, "video.cdn.example.net.", dnswire.TypeA)
+		q.EDNS = dnswire.NewEDNS()
+		resp, _, err := net.Exchange(client, via, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(resp.Answers) == 0 {
+			log.Fatalf("%s: no answer", label)
+		}
+		edge := resp.Answers[0].Data.(dnswire.ARData).Addr
+		edgeLoc, _ := world.Locate(edge)
+		rtt := time.Duration(geo.RTTMillis(clientLoc, edgeLoc) * float64(time.Millisecond))
+		fmt.Printf("%-34s → edge %-15s in %-13s RTT %v\n",
+			label, edge, edgeLoc.City, rtt.Round(time.Millisecond))
+	}
+
+	// 1. Without ECS: the CDN maps by the resolver's location.
+	fetch("resolver without ECS", newResolver(resolver.NonECSProfile(), 11).Addr())
+
+	// 2. With ECS: the CDN maps by the client's subnet.
+	fetch("resolver with ECS", newResolver(resolver.GoogleLikeProfile(), 12).Addr())
+
+	// 3. With ECS but behind a hidden resolver in Rome: the egress
+	// derives the prefix from the hidden hop, and the client is mapped
+	// to Europe (§8.2's pathology).
+	egress := newResolver(resolver.GoogleLikeProfile(), 13)
+	hiddenAddr := world.AddrInCity(geo.CityIndex("Rome"), 14, 99)
+	net.Register(hiddenAddr, &resolver.Forwarder{
+		Addr: hiddenAddr, Upstream: egress.Addr(), Transport: net, Open: true,
+	})
+	fetch("ECS via hidden resolver in Rome", hiddenAddr)
+}

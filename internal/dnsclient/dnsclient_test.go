@@ -1,0 +1,168 @@
+package dnsclient
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnsserver"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// Socket-level integration of Client lives in package dnsserver's tests;
+// these cover the validation and option-extraction logic.
+
+func TestValidate(t *testing.T) {
+	q := dnswire.NewQuery(42, "www.example.org.", dnswire.TypeA)
+	good := dnswire.NewResponse(q)
+	if err := validate(q, good); err != nil {
+		t.Fatalf("valid response rejected: %v", err)
+	}
+
+	badID := dnswire.NewResponse(q)
+	badID.ID = 43
+	if err := validate(q, badID); err != ErrIDMismatch {
+		t.Fatalf("ID mismatch: %v", err)
+	}
+
+	notResponse := dnswire.NewQuery(42, "www.example.org.", dnswire.TypeA)
+	if err := validate(q, notResponse); err == nil {
+		t.Fatal("QR-less message accepted")
+	}
+
+	wrongQ := dnswire.NewResponse(dnswire.NewQuery(42, "other.example.org.", dnswire.TypeA))
+	if err := validate(q, wrongQ); err != ErrMismatch {
+		t.Fatalf("question mismatch: %v", err)
+	}
+
+	empty := &dnswire.Message{Header: dnswire.Header{ID: 42, Response: true}}
+	if err := validate(q, empty); err != ErrMismatch {
+		t.Fatalf("empty question section: %v", err)
+	}
+}
+
+func TestECSFromResponse(t *testing.T) {
+	m := dnswire.NewResponse(dnswire.NewQuery(1, "x.example.", dnswire.TypeA))
+	if _, ok := ECSFromResponse(m); ok {
+		t.Fatal("phantom option")
+	}
+	cs := ecsopt.MustNew(netip.MustParseAddr("203.0.113.0"), 24).WithScope(20)
+	ecsopt.Attach(m, cs)
+	got, ok := ECSFromResponse(m)
+	if !ok || got != cs {
+		t.Fatalf("got %v %v", got, ok)
+	}
+	// Malformed options are reported as absent, not as an error: the
+	// client treats them like a non-ECS response.
+	m.EDNS.SetOption(dnswire.Option{Code: dnswire.OptionCodeECS, Data: []byte{0, 9}})
+	if _, ok := ECSFromResponse(m); ok {
+		t.Fatal("malformed option accepted")
+	}
+}
+
+func TestClientDefaults(t *testing.T) {
+	c := &Client{}
+	if c.timeout() == 0 || c.retries() == 0 {
+		t.Fatal("zero-value client defaults missing")
+	}
+	id1 := c.randID()
+	id2 := c.randID()
+	if id1 == id2 {
+		// Possible but vanishingly unlikely; try once more.
+		if c.randID() == id1 {
+			t.Fatal("randID not random")
+		}
+	}
+}
+
+// Socket round trips in-package so coverage reflects the client's own
+// paths (the server side is exercised again in package dnsserver).
+func startEchoServer(t *testing.T) string {
+	t.Helper()
+	auth := authority.NewServer(authority.Config{
+		ECSEnabled: true,
+		Scope:      authority.ScopeFixed(24),
+	})
+	z := authority.NewZone("cli.test.", 60)
+	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.7")})
+	for i := 0; i < 80; i++ {
+		z.MustAdd(dnswire.RR{Name: "fat.cli.test.", Data: dnswire.ARData{
+			Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)}),
+		}})
+	}
+	auth.AddZone(z)
+	srv := dnsserver.New(auth)
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return bound.String()
+}
+
+func TestQueryUDPPath(t *testing.T) {
+	addr := startEchoServer(t)
+	c := &Client{Timeout: 2 * time.Second}
+	cs := ecsopt.MustNew(netip.MustParseAddr("203.0.113.0"), 24)
+	resp, err := c.Query(addr, "www.cli.test.", dnswire.TypeA, &cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+	got, ok := ECSFromResponse(resp)
+	if !ok || got.ScopePrefix != 24 {
+		t.Fatalf("ECS echo = %v %v", got, ok)
+	}
+}
+
+func TestExchangeTCPFallbackPath(t *testing.T) {
+	addr := startEchoServer(t)
+	c := &Client{Timeout: 2 * time.Second, UDPSize: 512}
+	resp, err := c.Query(addr, "fat.cli.test.", dnswire.TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated || len(resp.Answers) != 80 {
+		t.Fatalf("fallback failed: tc=%v answers=%d", resp.Truncated, len(resp.Answers))
+	}
+}
+
+func TestForceTCPPath(t *testing.T) {
+	addr := startEchoServer(t)
+	c := &Client{Timeout: 2 * time.Second, ForceTCP: true}
+	resp, err := c.Query(addr, "www.cli.test.", dnswire.TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("TCP answers = %d", len(resp.Answers))
+	}
+}
+
+func TestExchangeUnreachable(t *testing.T) {
+	c := &Client{Timeout: 200 * time.Millisecond, Retries: 1}
+	if _, err := c.Query("127.0.0.1:1", "x.cli.test.", dnswire.TypeA, nil); err == nil {
+		t.Fatal("unreachable server answered")
+	}
+}
+
+func TestExchangeAssignsID(t *testing.T) {
+	addr := startEchoServer(t)
+	c := &Client{Timeout: 2 * time.Second}
+	q := dnswire.NewQuery(0, "www.cli.test.", dnswire.TypeA)
+	q.EDNS = dnswire.NewEDNS()
+	resp, err := c.Exchange(addr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID == 0 {
+		t.Fatal("zero transaction ID not replaced")
+	}
+	if resp.ID != q.ID {
+		t.Fatal("response ID mismatch")
+	}
+}

@@ -1,0 +1,205 @@
+// Package dnsserver provides a real UDP+TCP DNS server for the module's
+// handlers: the same Handler interface the in-memory simulations use can
+// be exposed on a socket, which is how the authdns and recursor binaries
+// and the live-wire example run. It handles EDNS0 buffer sizes, UDP
+// truncation with TCP fallback, and concurrent serving with graceful
+// shutdown.
+package dnsserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ecsdns/internal/dnswire"
+)
+
+// Handler answers DNS queries. It matches netem.Handler so simulation
+// nodes can be served on real sockets unchanged.
+type Handler interface {
+	HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.Message
+}
+
+// Server serves DNS over UDP and TCP on the same address.
+type Server struct {
+	handler Handler
+	// ReadTimeout bounds per-connection TCP reads.
+	ReadTimeout time.Duration
+
+	mu     sync.Mutex
+	pc     net.PacketConn
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a server for the handler.
+func New(h Handler) *Server {
+	return &Server{handler: h, ReadTimeout: 5 * time.Second}
+}
+
+// Start binds UDP and TCP sockets on addr (host:port; port 0 picks an
+// ephemeral port, with TCP bound to whatever port UDP got) and begins
+// serving. It returns the bound address.
+func (s *Server) Start(addr string) (netip.AddrPort, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("dnsserver: udp listen: %w", err)
+	}
+	bound := pc.LocalAddr().(*net.UDPAddr).AddrPort()
+	ln, err := net.Listen("tcp", bound.String())
+	if err != nil {
+		pc.Close()
+		return netip.AddrPort{}, fmt.Errorf("dnsserver: tcp listen: %w", err)
+	}
+	s.mu.Lock()
+	s.pc, s.ln = pc, ln
+	s.mu.Unlock()
+	s.wg.Add(2)
+	go s.serveUDP(pc)
+	go s.serveTCP(ln)
+	return bound, nil
+}
+
+// Close stops serving and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	pc, ln := s.pc, s.ln
+	s.mu.Unlock()
+	if pc != nil {
+		pc.Close()
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) serveUDP(pc net.PacketConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		from := raddr.(*net.UDPAddr).AddrPort()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			resp := s.dispatch(from.Addr(), pkt)
+			if resp == nil {
+				return
+			}
+			limit := dnswire.MaxUDPSize
+			if q, err := dnswire.Unpack(pkt); err == nil && q.EDNS != nil && int(q.EDNS.UDPSize) > limit {
+				limit = int(q.EDNS.UDPSize)
+			}
+			data, err := resp.TruncateTo(limit)
+			if err != nil {
+				return
+			}
+			pc.WriteTo(data, raddr)
+		}()
+	}
+}
+
+func (s *Server) serveTCP(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	from := conn.RemoteAddr().(*net.TCPAddr).AddrPort()
+	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		msgLen := int(binary.BigEndian.Uint16(lenBuf[:]))
+		pkt := make([]byte, msgLen)
+		if _, err := io.ReadFull(conn, pkt); err != nil {
+			return
+		}
+		resp := s.dispatch(from.Addr(), pkt)
+		if resp == nil {
+			return
+		}
+		data, err := resp.Pack()
+		if err != nil {
+			return
+		}
+		out := make([]byte, 2+len(data))
+		binary.BigEndian.PutUint16(out, uint16(len(data)))
+		copy(out[2:], data)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes, handles, and prepares one response message. A nil
+// return means "send nothing" (undecodable header).
+func (s *Server) dispatch(from netip.Addr, pkt []byte) *dnswire.Message {
+	query, err := dnswire.Unpack(pkt)
+	if err != nil {
+		// Answer FORMERR when at least the header parsed; drop
+		// otherwise.
+		if len(pkt) < 12 {
+			return nil
+		}
+		resp := &dnswire.Message{}
+		resp.ID = binary.BigEndian.Uint16(pkt)
+		resp.Response = true
+		resp.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	if query.Response {
+		return nil // never answer responses
+	}
+	resp := s.handler.HandleDNS(from, query)
+	if resp == nil {
+		return nil
+	}
+	resp.ID = query.ID
+	resp.Response = true
+	return resp
+}
+
+// ErrServerClosed mirrors net/http's sentinel for symmetry in callers.
+var ErrServerClosed = errors.New("dnsserver: server closed")

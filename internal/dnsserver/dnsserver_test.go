@@ -1,0 +1,174 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnsclient"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// startTestServer runs an ECS-enabled authoritative server on loopback.
+func startTestServer(t *testing.T, big bool) (string, *authority.Server) {
+	t.Helper()
+	auth := authority.NewServer(authority.Config{
+		ECSEnabled: true,
+		Scope:      authority.ScopeSourceMinus(4),
+	})
+	z := authority.NewZone("zone.test.", 60)
+	z.MustAdd(dnswire.RR{Name: "www.zone.test.", Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.44")}})
+	if big {
+		for i := 0; i < 120; i++ {
+			z.MustAdd(dnswire.RR{Name: "big.zone.test.", Data: dnswire.ARData{
+				Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)}),
+			}})
+		}
+	}
+	auth.AddZone(z)
+	srv := New(auth)
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return bound.String(), auth
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	addr, _ := startTestServer(t, false)
+	c := &dnsclient.Client{Timeout: 2 * time.Second}
+	resp, err := c.Query(addr, "www.zone.test.", dnswire.TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+		t.Fatalf("response: %v", resp)
+	}
+	if got := resp.Answers[0].Data.(dnswire.ARData).Addr; got != netip.MustParseAddr("192.0.2.44") {
+		t.Fatalf("answer = %s", got)
+	}
+}
+
+func TestECSOverRealSockets(t *testing.T) {
+	addr, _ := startTestServer(t, false)
+	c := &dnsclient.Client{Timeout: 2 * time.Second}
+	cs := ecsopt.MustNew(netip.MustParseAddr("203.0.113.7"), 24)
+	resp, err := c.Query(addr, "www.zone.test.", dnswire.TypeA, &cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dnsclient.ECSFromResponse(resp)
+	if !ok {
+		t.Fatal("no ECS in response")
+	}
+	if got.ScopePrefix != 20 {
+		t.Fatalf("scope = %d, want source-4 = 20", got.ScopePrefix)
+	}
+	if got.Addr != netip.MustParseAddr("203.0.113.0") {
+		t.Fatalf("echoed prefix = %s", got.Addr)
+	}
+}
+
+func TestTruncationAndTCPFallback(t *testing.T) {
+	addr, _ := startTestServer(t, true)
+	// A client advertising a small buffer gets TC over UDP and retries
+	// over TCP transparently.
+	c := &dnsclient.Client{Timeout: 2 * time.Second, UDPSize: 512}
+	resp, err := c.Query(addr, "big.zone.test.", dnswire.TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Fatal("final response still truncated")
+	}
+	if len(resp.Answers) != 120 {
+		t.Fatalf("answers = %d, want 120 via TCP", len(resp.Answers))
+	}
+}
+
+func TestForceTCP(t *testing.T) {
+	addr, _ := startTestServer(t, false)
+	c := &dnsclient.Client{Timeout: 2 * time.Second, ForceTCP: true}
+	resp, err := c.Query(addr, "www.zone.test.", dnswire.TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("TCP answers = %d", len(resp.Answers))
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := startTestServer(t, false)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &dnsclient.Client{Timeout: 3 * time.Second}
+			resp, err := c.Query(addr, "www.zone.test.", dnswire.TypeA, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(resp.Answers) != 1 {
+				errs <- ErrServerClosed
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedPacketGetsFormErr(t *testing.T) {
+	addr, _ := startTestServer(t, false)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	// A 12-byte header claiming one question but no body.
+	pkt := []byte{0xAB, 0xCD, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0}
+	if _, err := conn.Write(pkt); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 0xABCD || resp.RCode != dnswire.RCodeFormErr {
+		t.Fatalf("response: %+v", resp.Header)
+	}
+}
+
+func TestCloseStopsServing(t *testing.T) {
+	auth := authority.NewServer(authority.Config{})
+	auth.AddZone(authority.NewZone("zone.test.", 60))
+	srv := New(auth)
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := &dnsclient.Client{Timeout: 300 * time.Millisecond, Retries: 1}
+	if _, err := c.Query(bound.String(), "www.zone.test.", dnswire.TypeA, nil); err == nil {
+		t.Fatal("closed server still answering")
+	}
+}

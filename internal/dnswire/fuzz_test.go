@@ -1,0 +1,104 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// FuzzUnpack exercises the decoder with mutated wire data: it must never
+// panic, and anything it accepts must re-encode and re-decode to the
+// same question section (the invariant resolvers rely on).
+func FuzzUnpack(f *testing.F) {
+	q := NewQuery(7, "www.example.com.", TypeA)
+	q.EDNS = NewEDNS()
+	q.EDNS.SetOption(Option{Code: OptionCodeECS, Data: []byte{0, 1, 24, 0, 192, 0, 2}})
+	seed1, err := q.Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed1)
+
+	r := NewResponse(q)
+	r.Answers = []RR{
+		{Name: "www.example.com.", Class: ClassINET, TTL: 20,
+			Data: ARData{Addr: netip.MustParseAddr("192.0.2.1")}},
+		{Name: "www.example.com.", Class: ClassINET, TTL: 20,
+			Data: CNAMERData{Target: "edge.example.net."}},
+		{Name: "www.example.com.", Class: ClassINET, TTL: 20,
+			Data: TXTRData{Strings: []string{"a", "b"}}},
+	}
+	r.Authorities = []RR{
+		{Name: "example.com.", Class: ClassINET, TTL: 60, Data: SOARData{
+			MName: "ns1.example.com.", RName: "hostmaster.example.com.",
+			Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5,
+		}},
+	}
+	seed2, err := r.Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed2)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0x80, 0, 0, 0, 0xFF, 0xFF, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		repacked, err := m.Pack()
+		if err != nil {
+			// Some decodable messages exceed re-encoding limits (e.g.
+			// compression-expanded rdata); that is acceptable, panics
+			// are not.
+			return
+		}
+		m2, err := Unpack(repacked)
+		if err != nil {
+			t.Fatalf("repacked message undecodable: %v\noriginal: %x\nrepacked: %x", err, data, repacked)
+		}
+		if len(m.Questions) != len(m2.Questions) {
+			t.Fatalf("question count changed: %d → %d", len(m.Questions), len(m2.Questions))
+		}
+		for i := range m.Questions {
+			if m.Questions[i] != m2.Questions[i] {
+				t.Fatalf("question %d changed: %v → %v", i, m.Questions[i], m2.Questions[i])
+			}
+		}
+		if m.ID != m2.ID || m.RCode != m2.RCode || m.Response != m2.Response {
+			t.Fatal("header fields changed across repack")
+		}
+	})
+}
+
+// FuzzNameParse checks ParseName never panics and that accepted names
+// survive a wire round trip.
+func FuzzNameParse(f *testing.F) {
+	for _, s := range []string{"example.com", ".", "a.b.c.d.e", "p-1-2-3-4.scan.org", "UPPER.Case."} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseName(s)
+		if err != nil {
+			return
+		}
+		q := NewQuery(1, n, TypeA)
+		data, err := q.Pack()
+		if err != nil {
+			t.Fatalf("accepted name %q failed to pack: %v", n, err)
+		}
+		got, err := Unpack(data)
+		if err != nil {
+			t.Fatalf("accepted name %q failed to unpack: %v", n, err)
+		}
+		if got.Question().Name != n {
+			// Names with bytes that collide with the presentation
+			// separator cannot round-trip textually; they must still
+			// decode to *something* without error.
+			if !bytes.ContainsAny([]byte(n), ".") {
+				t.Fatalf("name changed: %q → %q", n, got.Question().Name)
+			}
+		}
+	})
+}

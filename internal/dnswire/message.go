@@ -1,0 +1,396 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Header is the parsed DNS message header (RFC 1035 §4.1.1) minus the
+// section counts, which are derived from the slices in Message.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	OpCode             OpCode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	AuthenticData      bool
+	CheckingDisabled   bool
+	RCode              RCode // full extended rcode; upper bits go to EDNS
+}
+
+// Question is a single query in the question section.
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// String returns "name type class".
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// RR is a resource record in any of the answer, authority, or additional
+// sections. OPT pseudo-records are not represented as RRs; they surface as
+// Message.EDNS.
+type RR struct {
+	Name  Name
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the record type, taken from the typed payload.
+func (rr RR) Type() Type {
+	if rr.Data == nil {
+		return TypeNone
+	}
+	return rr.Data.Type()
+}
+
+// String returns a zone-file-style one-line rendering.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", rr.Name, rr.TTL, rr.Class, rr.Type(), rr.Data)
+}
+
+// Message is a complete DNS message. The EDNS field, when non-nil, is
+// serialized as an OPT pseudo-record in the additional section; decoded
+// OPT records are lifted out of Additionals into EDNS.
+type Message struct {
+	Header
+	Questions   []Question
+	Answers     []RR
+	Authorities []RR
+	Additionals []RR
+	EDNS        *EDNS
+}
+
+// Question returns the first question, or a zero Question if none.
+func (m *Message) Question() Question {
+	if len(m.Questions) == 0 {
+		return Question{}
+	}
+	return m.Questions[0]
+}
+
+// Pack encodes m into wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	return m.pack(true)
+}
+
+// PackNoCompress encodes m without name compression; it exists so the
+// compression ablation benchmark can quantify the savings.
+func (m *Message) PackNoCompress() ([]byte, error) {
+	return m.pack(false)
+}
+
+var errTooManySections = errors.New("dnswire: section exceeds 65535 records")
+
+func (m *Message) pack(compress bool) ([]byte, error) {
+	b := newBuilder(512)
+	b.uint16(m.ID)
+	flags1 := uint8(0)
+	if m.Response {
+		flags1 |= 0x80
+	}
+	flags1 |= uint8(m.OpCode&0xF) << 3
+	if m.Authoritative {
+		flags1 |= 0x04
+	}
+	if m.Truncated {
+		flags1 |= 0x02
+	}
+	if m.RecursionDesired {
+		flags1 |= 0x01
+	}
+	b.uint8(flags1)
+	flags2 := uint8(m.RCode & 0xF)
+	if m.RecursionAvailable {
+		flags2 |= 0x80
+	}
+	if m.AuthenticData {
+		flags2 |= 0x20
+	}
+	if m.CheckingDisabled {
+		flags2 |= 0x10
+	}
+	b.uint8(flags2)
+
+	nAdd := len(m.Additionals)
+	if m.EDNS != nil {
+		nAdd++
+	}
+	for _, n := range []int{len(m.Questions), len(m.Answers), len(m.Authorities), nAdd} {
+		if n > 65535 {
+			return nil, errTooManySections
+		}
+	}
+	b.uint16(uint16(len(m.Questions)))
+	b.uint16(uint16(len(m.Answers)))
+	b.uint16(uint16(len(m.Authorities)))
+	b.uint16(uint16(nAdd))
+
+	for _, q := range m.Questions {
+		b.nameOpt(q.Name, compress)
+		b.uint16(uint16(q.Type))
+		b.uint16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authorities, m.Additionals} {
+		for _, rr := range sec {
+			if err := packRR(b, rr, compress); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if m.EDNS != nil {
+		m.EDNS.encode(b, m.RCode)
+	}
+	if len(b.buf) > MaxMessageSize {
+		return nil, errors.New("dnswire: message exceeds 65535 bytes")
+	}
+	return b.buf, nil
+}
+
+func packRR(b *builder, rr RR, compress bool) error {
+	if rr.Data == nil {
+		return errors.New("dnswire: record with nil rdata")
+	}
+	b.nameOpt(rr.Name, compress)
+	b.uint16(uint16(rr.Type()))
+	b.uint16(uint16(rr.Class))
+	b.uint32(rr.TTL)
+	lenOff := len(b.buf)
+	b.uint16(0) // rdlength placeholder
+	rr.Data.encode(b)
+	rdlen := len(b.buf) - lenOff - 2
+	if rdlen > 65535 {
+		return errors.New("dnswire: rdata exceeds 65535 bytes")
+	}
+	b.buf[lenOff] = uint8(rdlen >> 8)
+	b.buf[lenOff+1] = uint8(rdlen)
+	return nil
+}
+
+// Unpack decodes a wire-format DNS message.
+func Unpack(data []byte) (*Message, error) {
+	p := &parser{msg: data}
+	m := &Message{}
+	id, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = id
+	f1, err := p.uint8()
+	if err != nil {
+		return nil, err
+	}
+	f2, err := p.uint8()
+	if err != nil {
+		return nil, err
+	}
+	m.Response = f1&0x80 != 0
+	m.OpCode = OpCode((f1 >> 3) & 0xF)
+	m.Authoritative = f1&0x04 != 0
+	m.Truncated = f1&0x02 != 0
+	m.RecursionDesired = f1&0x01 != 0
+	m.RecursionAvailable = f2&0x80 != 0
+	m.AuthenticData = f2&0x20 != 0
+	m.CheckingDisabled = f2&0x10 != 0
+	m.RCode = RCode(f2 & 0xF)
+
+	var counts [4]int
+	for i := range counts {
+		c, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = int(c)
+	}
+	// Each question needs ≥5 bytes, each RR ≥11; a cheap bound that stops
+	// count-based allocation bombs before any allocation happens.
+	if counts[0]*5+(counts[1]+counts[2]+counts[3])*11 > p.remaining() {
+		return nil, ErrTooManyRRs
+	}
+
+	for i := 0; i < counts[0]; i++ {
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		t, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: n, Type: Type(t), Class: Class(c)})
+	}
+	sections := []*[]RR{&m.Answers, &m.Authorities, &m.Additionals}
+	for si, sec := range sections {
+		for i := 0; i < counts[si+1]; i++ {
+			rr, opt, err := unpackRR(p)
+			if err != nil {
+				return nil, err
+			}
+			if opt != nil {
+				if si != 2 {
+					return nil, errors.New("dnswire: OPT record outside additional section")
+				}
+				if m.EDNS != nil {
+					return nil, errors.New("dnswire: duplicate OPT record")
+				}
+				m.EDNS = opt
+				m.RCode |= RCode(opt.extRCodeHi) << 4
+				continue
+			}
+			*sec = append(*sec, rr)
+		}
+	}
+	if p.remaining() != 0 {
+		return nil, ErrTrailingBytes
+	}
+	return m, nil
+}
+
+func unpackRR(p *parser) (RR, *EDNS, error) {
+	n, err := p.name()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	t, err := p.uint16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	cls, err := p.uint16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	ttl, err := p.uint32()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	rdlen, err := p.uint16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	if Type(t) == TypeOPT {
+		opt, err := decodeEDNS(p, n, cls, ttl, int(rdlen))
+		return RR{}, opt, err
+	}
+	rd, err := decodeRData(p, Type(t), int(rdlen))
+	if err != nil {
+		return RR{}, nil, err
+	}
+	return RR{Name: n, Class: Class(cls), TTL: ttl, Data: rd}, nil, nil
+}
+
+// String renders the message in a dig-like multi-section format.
+func (m *Message) String() string {
+	var sb strings.Builder
+	kind := "query"
+	if m.Response {
+		kind = "response"
+	}
+	fmt.Fprintf(&sb, ";; %s %s id=%d rcode=%s", m.OpCode, kind, m.ID, m.RCode)
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{m.Authoritative, "aa"}, {m.Truncated, "tc"},
+		{m.RecursionDesired, "rd"}, {m.RecursionAvailable, "ra"},
+	} {
+		if f.on {
+			sb.WriteString(" +" + f.name)
+		}
+	}
+	sb.WriteByte('\n')
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";%s\n", q)
+	}
+	for _, sec := range []struct {
+		name string
+		rrs  []RR
+	}{
+		{"ANSWER", m.Answers}, {"AUTHORITY", m.Authorities}, {"ADDITIONAL", m.Additionals},
+	} {
+		if len(sec.rrs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, ";; %s\n", sec.name)
+		for _, rr := range sec.rrs {
+			sb.WriteString(rr.String())
+			sb.WriteByte('\n')
+		}
+	}
+	if m.EDNS != nil {
+		fmt.Fprintf(&sb, ";; EDNS: version %d, udp %d, options %d\n",
+			m.EDNS.Version, m.EDNS.UDPSize, len(m.EDNS.Options))
+	}
+	return sb.String()
+}
+
+// NewQuery builds a recursion-desired query for (name, type) with the
+// given transaction ID.
+func NewQuery(id uint16, name Name, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: t, Class: ClassINET}},
+	}
+}
+
+// NewResponse builds a response skeleton for the query q, copying ID,
+// opcode, question, and the RD flag.
+func NewResponse(q *Message) *Message {
+	r := &Message{
+		Header: Header{
+			ID:               q.ID,
+			Response:         true,
+			OpCode:           q.OpCode,
+			RecursionDesired: q.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, q.Questions...)
+	return r
+}
+
+// TruncateTo shrinks m to fit within size bytes when packed, dropping
+// whole records from the tail sections and setting TC when anything was
+// dropped. It returns the packed bytes.
+func (m *Message) TruncateTo(size int) ([]byte, error) {
+	if size < 12 {
+		return nil, errors.New("dnswire: truncation size below header size")
+	}
+	for {
+		data, err := m.Pack()
+		if err != nil {
+			return nil, err
+		}
+		if len(data) <= size {
+			return data, nil
+		}
+		m.Truncated = true
+		switch {
+		case len(m.Additionals) > 0:
+			m.Additionals = m.Additionals[:len(m.Additionals)-1]
+		case len(m.Authorities) > 0:
+			m.Authorities = m.Authorities[:len(m.Authorities)-1]
+		case len(m.Answers) > 0:
+			m.Answers = m.Answers[:len(m.Answers)-1]
+		default:
+			m.EDNS = nil
+			data, err := m.Pack()
+			if err != nil {
+				return nil, err
+			}
+			if len(data) > size {
+				return nil, errors.New("dnswire: header alone exceeds truncation size")
+			}
+			return data, nil
+		}
+	}
+}

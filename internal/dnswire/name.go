@@ -1,0 +1,152 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Name is a fully-qualified domain name in canonical presentation form:
+// lower-case, dot-separated labels with a trailing dot ("example.com.").
+// The root zone is the single dot ".". Construct Names with ParseName (or
+// MustParseName in tests and static data); the zero value "" is invalid.
+type Name string
+
+// Root is the DNS root name.
+const Root Name = "."
+
+// Name parsing and validation errors.
+var (
+	ErrEmptyName    = errors.New("dnswire: empty domain name")
+	ErrNameTooLong  = errors.New("dnswire: domain name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dnswire: empty label in domain name")
+	ErrBadLabelChar = errors.New("dnswire: invalid character in label")
+)
+
+// ParseName validates and canonicalizes s into a Name. It accepts names
+// with or without a trailing dot, folds ASCII upper case to lower case,
+// and enforces RFC 1035 length limits. Hostname character restrictions are
+// deliberately not enforced beyond excluding dots, whitespace and control
+// characters inside labels: DNS itself is 8-bit clean and the scanner
+// encodes IPv4 addresses into labels.
+func ParseName(s string) (Name, error) {
+	if s == "" {
+		return "", ErrEmptyName
+	}
+	if s == "." {
+		return Root, nil
+	}
+	s = strings.TrimSuffix(s, ".")
+	labels := strings.Split(s, ".")
+	total := 1 // root label length octet
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for _, l := range labels {
+		if l == "" {
+			return "", ErrEmptyLabel
+		}
+		if len(l) > MaxLabelLen {
+			return "", ErrLabelTooLong
+		}
+		total += len(l) + 1
+		for i := 0; i < len(l); i++ {
+			c := l[i]
+			if c <= ' ' || c == 127 {
+				return "", ErrBadLabelChar
+			}
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			b.WriteByte(c)
+		}
+		b.WriteByte('.')
+	}
+	if total > MaxNameLen {
+		return "", ErrNameTooLong
+	}
+	return Name(b.String()), nil
+}
+
+// MustParseName is ParseName for static data; it panics on invalid input.
+func MustParseName(s string) Name {
+	n, err := ParseName(s)
+	if err != nil {
+		panic("dnswire: MustParseName(" + s + "): " + err.Error())
+	}
+	return n
+}
+
+// String returns the presentation form of the name.
+func (n Name) String() string { return string(n) }
+
+// IsRoot reports whether n is the DNS root.
+func (n Name) IsRoot() bool { return n == Root }
+
+// Labels returns the labels of n from most- to least-specific, excluding
+// the root. Labels(".") is empty.
+func (n Name) Labels() []string {
+	if n == Root || n == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(string(n), "."), ".")
+}
+
+// CountLabels returns the number of non-root labels in n.
+func (n Name) CountLabels() int {
+	if n == Root || n == "" {
+		return 0
+	}
+	return strings.Count(string(n), ".")
+}
+
+// Parent returns the name with the most-specific label removed.
+// Parent of the root is the root.
+func (n Name) Parent() Name {
+	if n == Root || n == "" {
+		return Root
+	}
+	i := strings.IndexByte(string(n), '.')
+	if i < 0 || i == len(n)-1 {
+		return Root
+	}
+	return n[i+1:]
+}
+
+// IsSubdomainOf reports whether n is equal to or below zone. Every name is
+// a subdomain of the root.
+func (n Name) IsSubdomainOf(zone Name) bool {
+	if zone == Root {
+		return true
+	}
+	if n == zone {
+		return true
+	}
+	return strings.HasSuffix(string(n), "."+string(zone))
+}
+
+// SLD returns the second-level domain of n ("www.cnn.com." → "cnn.com."),
+// following the paper's definition of the two most senior labels. Names
+// with fewer than two labels return themselves.
+func (n Name) SLD() Name {
+	labels := n.Labels()
+	if len(labels) < 2 {
+		return n
+	}
+	return Name(labels[len(labels)-2] + "." + labels[len(labels)-1] + ".")
+}
+
+// Prepend returns label + "." + n, validating the result.
+func (n Name) Prepend(label string) (Name, error) {
+	if n == Root {
+		return ParseName(label)
+	}
+	return ParseName(label + "." + string(n))
+}
+
+// wireLen returns the uncompressed encoded length of n.
+func (n Name) wireLen() int {
+	if n == Root {
+		return 1
+	}
+	return len(n) + 1
+}

@@ -1,0 +1,261 @@
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// RData is the typed payload of a resource record. Concrete types exist
+// for every record type this module serves; anything else round-trips as
+// UnknownRData.
+type RData interface {
+	// Type returns the RR type this payload belongs to.
+	Type() Type
+	// encode appends the rdata (without the length prefix) to b.
+	encode(b *builder)
+	// String returns the presentation form of the rdata.
+	String() string
+}
+
+// ARData is an IPv4 address record payload.
+type ARData struct{ Addr netip.Addr }
+
+// Type implements RData.
+func (ARData) Type() Type { return TypeA }
+
+func (r ARData) encode(b *builder) {
+	a := r.Addr.As4()
+	b.bytes(a[:])
+}
+
+func (r ARData) String() string { return r.Addr.String() }
+
+// AAAARData is an IPv6 address record payload.
+type AAAARData struct{ Addr netip.Addr }
+
+// Type implements RData.
+func (AAAARData) Type() Type { return TypeAAAA }
+
+func (r AAAARData) encode(b *builder) {
+	a := r.Addr.As16()
+	b.bytes(a[:])
+}
+
+func (r AAAARData) String() string { return r.Addr.String() }
+
+// CNAMERData is an alias record payload.
+type CNAMERData struct{ Target Name }
+
+// Type implements RData.
+func (CNAMERData) Type() Type { return TypeCNAME }
+
+func (r CNAMERData) encode(b *builder) { b.name(r.Target) }
+func (r CNAMERData) String() string    { return string(r.Target) }
+
+// NSRData is a delegation record payload.
+type NSRData struct{ Host Name }
+
+// Type implements RData.
+func (NSRData) Type() Type { return TypeNS }
+
+func (r NSRData) encode(b *builder) { b.name(r.Host) }
+func (r NSRData) String() string    { return string(r.Host) }
+
+// PTRRData is a pointer record payload.
+type PTRRData struct{ Target Name }
+
+// Type implements RData.
+func (PTRRData) Type() Type { return TypePTR }
+
+func (r PTRRData) encode(b *builder) { b.name(r.Target) }
+func (r PTRRData) String() string    { return string(r.Target) }
+
+// MXRData is a mail-exchange record payload.
+type MXRData struct {
+	Preference uint16
+	Host       Name
+}
+
+// Type implements RData.
+func (MXRData) Type() Type { return TypeMX }
+
+func (r MXRData) encode(b *builder) {
+	b.uint16(r.Preference)
+	b.name(r.Host)
+}
+
+func (r MXRData) String() string { return fmt.Sprintf("%d %s", r.Preference, r.Host) }
+
+// TXTRData is a text record payload: one or more character-strings.
+type TXTRData struct{ Strings []string }
+
+// Type implements RData.
+func (TXTRData) Type() Type { return TypeTXT }
+
+func (r TXTRData) encode(b *builder) {
+	for _, s := range r.Strings {
+		if len(s) > 255 {
+			s = s[:255]
+		}
+		b.uint8(uint8(len(s)))
+		b.bytes([]byte(s))
+	}
+}
+
+func (r TXTRData) String() string {
+	parts := make([]string, len(r.Strings))
+	for i, s := range r.Strings {
+		parts[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// SOARData is a start-of-authority record payload.
+type SOARData struct {
+	MName   Name
+	RName   Name
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Type implements RData.
+func (SOARData) Type() Type { return TypeSOA }
+
+func (r SOARData) encode(b *builder) {
+	b.name(r.MName)
+	b.name(r.RName)
+	b.uint32(r.Serial)
+	b.uint32(r.Refresh)
+	b.uint32(r.Retry)
+	b.uint32(r.Expire)
+	b.uint32(r.Minimum)
+}
+
+func (r SOARData) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		r.MName, r.RName, r.Serial, r.Refresh, r.Retry, r.Expire, r.Minimum)
+}
+
+// UnknownRData carries the raw rdata of a record type the codec does not
+// model. It round-trips byte-for-byte (RFC 3597 behavior).
+type UnknownRData struct {
+	T   Type
+	Raw []byte
+}
+
+// Type implements RData.
+func (r UnknownRData) Type() Type { return r.T }
+
+func (r UnknownRData) encode(b *builder) { b.bytes(r.Raw) }
+
+func (r UnknownRData) String() string {
+	return fmt.Sprintf("\\# %d %x", len(r.Raw), r.Raw)
+}
+
+// decodeRData decodes rdlen bytes of rdata of the given type. The parser is
+// positioned at the start of the rdata; name-bearing types may follow
+// compression pointers anywhere earlier in the message.
+func decodeRData(p *parser, t Type, rdlen int) (RData, error) {
+	end := p.off + rdlen
+	if end > len(p.msg) {
+		return nil, ErrShortMessage
+	}
+	var rd RData
+	switch t {
+	case TypeA:
+		raw, err := p.bytes(4)
+		if err != nil {
+			return nil, err
+		}
+		rd = ARData{Addr: netip.AddrFrom4([4]byte(raw))}
+	case TypeAAAA:
+		raw, err := p.bytes(16)
+		if err != nil {
+			return nil, err
+		}
+		rd = AAAARData{Addr: netip.AddrFrom16([16]byte(raw))}
+	case TypeCNAME:
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		rd = CNAMERData{Target: n}
+	case TypeNS:
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		rd = NSRData{Host: n}
+	case TypePTR:
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		rd = PTRRData{Target: n}
+	case TypeMX:
+		pref, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		rd = MXRData{Preference: pref, Host: n}
+	case TypeTXT:
+		var ss []string
+		for p.off < end {
+			l, err := p.uint8()
+			if err != nil {
+				return nil, err
+			}
+			raw, err := p.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			if p.off > end {
+				return nil, ErrRDataLength
+			}
+			ss = append(ss, string(raw))
+		}
+		rd = TXTRData{Strings: ss}
+	case TypeSOA:
+		mname, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		rname, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		var vals [5]uint32
+		for i := range vals {
+			v, err := p.uint32()
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		rd = SOARData{
+			MName: mname, RName: rname,
+			Serial: vals[0], Refresh: vals[1], Retry: vals[2],
+			Expire: vals[3], Minimum: vals[4],
+		}
+	default:
+		raw, err := p.bytes(rdlen)
+		if err != nil {
+			return nil, err
+		}
+		cp := make([]byte, rdlen)
+		copy(cp, raw)
+		rd = UnknownRData{T: t, Raw: cp}
+	}
+	if p.off != end {
+		return nil, ErrRDataLength
+	}
+	return rd, nil
+}

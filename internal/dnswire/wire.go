@@ -1,0 +1,205 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+)
+
+// Wire decoding errors.
+var (
+	ErrShortMessage  = errors.New("dnswire: message truncated mid-field")
+	ErrPointerLoop   = errors.New("dnswire: compression pointer loop")
+	ErrBadPointer    = errors.New("dnswire: compression pointer out of range")
+	ErrTrailingBytes = errors.New("dnswire: trailing bytes after message")
+	ErrRDataLength   = errors.New("dnswire: rdata length mismatch")
+	ErrTooManyRRs    = errors.New("dnswire: section count exceeds message size")
+)
+
+// builder accumulates an encoded message and tracks name-compression
+// targets. Compression offsets must fit in 14 bits; names that would land
+// beyond that horizon are simply not registered.
+type builder struct {
+	buf      []byte
+	compress map[Name]int // suffix → offset of its first occurrence
+}
+
+func newBuilder(sizeHint int) *builder {
+	return &builder{
+		buf:      make([]byte, 0, sizeHint),
+		compress: make(map[Name]int),
+	}
+}
+
+func (b *builder) uint8(v uint8)   { b.buf = append(b.buf, v) }
+func (b *builder) uint16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf, v) }
+func (b *builder) uint32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
+func (b *builder) bytes(p []byte)  { b.buf = append(b.buf, p...) }
+
+// name encodes n with compression against previously written names.
+func (b *builder) name(n Name) {
+	b.nameOpt(n, true)
+}
+
+// nameOpt encodes n, compressing against earlier names when compress is
+// true. OPT owner names and rdata of types where compression is forbidden
+// use compress=false.
+func (b *builder) nameOpt(n Name, compress bool) {
+	if n == Root || n == "" {
+		b.uint8(0)
+		return
+	}
+	rest := n
+	for rest != Root && rest != "" {
+		if compress {
+			if off, ok := b.compress[rest]; ok {
+				b.uint16(0xC000 | uint16(off))
+				return
+			}
+			if off := len(b.buf); off < 0x4000 {
+				b.compress[rest] = off
+			}
+		}
+		label := string(rest)
+		if i := strings.IndexByte(label, '.'); i >= 0 {
+			label = label[:i]
+		}
+		b.uint8(uint8(len(label)))
+		b.buf = append(b.buf, label...)
+		rest = rest.Parent()
+	}
+	b.uint8(0)
+}
+
+// parser walks an encoded message.
+type parser struct {
+	msg []byte
+	off int
+}
+
+func (p *parser) remaining() int { return len(p.msg) - p.off }
+
+func (p *parser) uint8() (uint8, error) {
+	if p.remaining() < 1 {
+		return 0, ErrShortMessage
+	}
+	v := p.msg[p.off]
+	p.off++
+	return v, nil
+}
+
+func (p *parser) uint16() (uint16, error) {
+	if p.remaining() < 2 {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint16(p.msg[p.off:])
+	p.off += 2
+	return v, nil
+}
+
+func (p *parser) uint32() (uint32, error) {
+	if p.remaining() < 4 {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint32(p.msg[p.off:])
+	p.off += 4
+	return v, nil
+}
+
+func (p *parser) bytes(n int) ([]byte, error) {
+	if n < 0 || p.remaining() < n {
+		return nil, ErrShortMessage
+	}
+	v := p.msg[p.off : p.off+n]
+	p.off += n
+	return v, nil
+}
+
+// name decodes a possibly-compressed domain name starting at the current
+// offset, advancing past it (pointers are followed without moving the
+// cursor beyond the pointer itself).
+func (p *parser) name() (Name, error) {
+	n, next, err := decodeNameAt(p.msg, p.off)
+	if err != nil {
+		return "", err
+	}
+	p.off = next
+	return n, nil
+}
+
+// decodeNameAt decodes the name at offset off in msg and returns it along
+// with the offset of the first byte after the name's in-place encoding.
+func decodeNameAt(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	next := -1 // offset after the name at the original position
+	ptrBudget := 127
+	totalLen := 1
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrShortMessage
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			if next < 0 {
+				next = off + 1
+			}
+			if sb.Len() == 0 {
+				return Root, next, nil
+			}
+			return Name(foldLower(sb.String())), next, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrShortMessage
+			}
+			target := int(binary.BigEndian.Uint16(msg[off:]) & 0x3FFF)
+			if next < 0 {
+				next = off + 2
+			}
+			if target >= off {
+				// Forward (or self) pointers are invalid and a
+				// common loop vector; reject them outright.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			off = target
+		case c&0xC0 != 0:
+			return "", 0, errors.New("dnswire: reserved label type")
+		default:
+			l := int(c)
+			if off+1+l > len(msg) {
+				return "", 0, ErrShortMessage
+			}
+			totalLen += l + 1
+			if totalLen > MaxNameLen {
+				return "", 0, ErrNameTooLong
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			sb.WriteByte('.')
+			off += 1 + l
+		}
+	}
+}
+
+func foldLower(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

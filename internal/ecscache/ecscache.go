@@ -1,0 +1,397 @@
+// Package ecscache implements an ECS-aware DNS cache with the semantics
+// of RFC 7871 §7.3: answers are stored per (question, client-subnet at
+// the authoritative scope) and reused only for clients the scope covers.
+//
+// Because the paper's subject is resolvers that implement these rules
+// incorrectly, the cache's scope handling is pluggable: the compliant
+// behavior, the scope-ignoring behavior exhibited by over half the
+// studied resolvers, and the /22-capping behavior are all selectable, so
+// the same resolver code can reproduce each observed behavior class.
+package ecscache
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// Key identifies a cached question.
+type Key struct {
+	Name  dnswire.Name
+	Type  dnswire.Type
+	Class dnswire.Class
+}
+
+// KeyOf builds a Key from a question.
+func KeyOf(q dnswire.Question) Key {
+	return Key{Name: q.Name, Type: q.Type, Class: q.Class}
+}
+
+// Entry is one cached answer.
+type Entry struct {
+	// Subnet is the response ECS option (source + scope) this answer was
+	// stored under; the zero value (HasECS false) marks a non-ECS answer
+	// shared by all clients.
+	Subnet ecsopt.ClientSubnet
+	HasECS bool
+	// Answer, Authority and RCode are the cached response content.
+	Answer    []dnswire.RR
+	Authority []dnswire.RR
+	RCode     dnswire.RCode
+	// Expiry is the absolute virtual time the entry dies.
+	Expiry time.Time
+	// Stored is when the entry was inserted (for remaining-TTL math).
+	Stored time.Time
+}
+
+// RemainingTTL returns the whole seconds of life left at `now`, never
+// negative.
+func (e *Entry) RemainingTTL(now time.Time) uint32 {
+	d := e.Expiry.Sub(now)
+	if d <= 0 {
+		return 0
+	}
+	return uint32(d / time.Second)
+}
+
+// ScopeMode selects how the cache applies ECS scope, modeling the
+// behavior classes of §6.3 of the paper.
+type ScopeMode int
+
+// Scope-handling behavior classes.
+const (
+	// HonorScope is the RFC-compliant behavior: reuse requires the
+	// client to fall within the stored prefix at the stored scope.
+	HonorScope ScopeMode = iota
+	// IgnoreScope reuses any live entry for the question irrespective
+	// of the client address — the behavior of 103 of the 203 resolvers
+	// the paper could study.
+	IgnoreScope
+	// CapScope caps the effective scope at CapBits on insert and
+	// lookup — the 8 resolvers imposing a /22 ceiling.
+	CapScope
+)
+
+// Config parameterizes a cache.
+type Config struct {
+	Mode ScopeMode
+	// CapBits is the scope ceiling used when Mode is CapScope.
+	CapBits uint8
+	// ClampScopeToSource applies the RFC rule that a response scope
+	// longer than the query source prefix must not be cached wider than
+	// the source; compliant resolvers set this.
+	ClampScopeToSource bool
+	// NegativeTTL bounds how long entries with non-NoError rcodes live
+	// when the response provides no better bound. Zero means 30s.
+	NegativeTTL time.Duration
+	// Indexed selects the hash-indexed per-question lookup structure
+	// instead of the default linear scan: O(distinct scopes) lookups at
+	// the cost of slot bookkeeping. Semantics are identical; see the
+	// ablation benchmarks.
+	Indexed bool
+}
+
+// Cache is a scope-aware DNS cache. It is safe for concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[Key][]*Entry
+	indexes map[Key]*keyIndex
+	live    int
+	high    int
+	hits    int64
+	misses  int64
+}
+
+// New creates a cache with the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.NegativeTTL == 0 {
+		cfg.NegativeTTL = 30 * time.Second
+	}
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[Key][]*Entry),
+		indexes: make(map[Key]*keyIndex),
+	}
+}
+
+// effectiveScope returns the number of bits the cache indexes and matches
+// an entry's subnet at.
+func (c *Cache) effectiveScope(e *Entry) uint8 {
+	if !e.HasECS {
+		return 0
+	}
+	scope := e.Subnet.ScopePrefix
+	if c.cfg.ClampScopeToSource {
+		scope = ecsopt.ClampScope(e.Subnet.SourcePrefix, scope)
+	}
+	if c.cfg.Mode == CapScope && scope > c.cfg.CapBits {
+		scope = c.cfg.CapBits
+	}
+	return scope
+}
+
+// Lookup finds a live entry for key usable by client. Under HonorScope,
+// ties between multiple covering entries go to the longest scope (most
+// specific). The bool reports a hit; hit/miss counters are updated.
+func (c *Cache) Lookup(key Key, client netip.Addr, now time.Time) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Indexed {
+		return c.lookupIndexed(key, client, now)
+	}
+	var best *Entry
+	bestScope := -1
+	for _, e := range c.entries[key] {
+		if !e.Expiry.After(now) {
+			continue
+		}
+		switch c.cfg.Mode {
+		case IgnoreScope:
+			// Any live entry will do; first wins.
+			c.hits++
+			return e, true
+		default:
+			scope := int(c.effectiveScope(e))
+			if !e.HasECS || e.Subnet.Covers(client, scope) {
+				if scope > bestScope {
+					best, bestScope = e, scope
+				}
+			}
+		}
+	}
+	if best == nil {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return best, true
+}
+
+// Insert stores an entry for key, replacing any entry indexed under the
+// same effective prefix. Expired entries for the key are collected in
+// passing.
+func (c *Cache) Insert(key Key, e Entry, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stored := e // copy; cache owns its entries
+	stored.Stored = now
+	scope := c.effectiveScope(&stored)
+	if c.cfg.Indexed {
+		c.insertIndexed(key, &stored, scope, now)
+		return
+	}
+
+	list := c.entries[key]
+	out := list[:0]
+	replaced := false
+	for _, old := range list {
+		if !old.Expiry.After(now) {
+			c.live--
+			continue
+		}
+		if c.cfg.Mode == IgnoreScope {
+			// Single entry per key: the newcomer replaces it.
+			c.live--
+			continue
+		}
+		if sameIndexSlot(c.effectiveScope(old), old, scope, &stored) {
+			c.live--
+			replaced = true
+			continue
+		}
+		out = append(out, old)
+	}
+	_ = replaced
+	out = append(out, &stored)
+	c.live++
+	if c.live > c.high {
+		c.high = c.live
+	}
+	c.entries[key] = out
+}
+
+// sameIndexSlot reports whether two entries occupy the same cache slot:
+// same effective scope and same prefix at that scope (or both non-ECS).
+func sameIndexSlot(scopeA uint8, a *Entry, scopeB uint8, b *Entry) bool {
+	if a.HasECS != b.HasECS {
+		return false
+	}
+	if !a.HasECS {
+		return true
+	}
+	if scopeA != scopeB || a.Subnet.Family != b.Subnet.Family {
+		return false
+	}
+	return a.Subnet.Covers(b.Subnet.Addr, int(scopeA))
+}
+
+// TTLBound computes an entry expiry from a response's minimum answer TTL,
+// bounded below by zero.
+func TTLBound(now time.Time, rrs []dnswire.RR, fallback time.Duration) time.Time {
+	minTTL := uint32(0)
+	have := false
+	for _, rr := range rrs {
+		if !have || rr.TTL < minTTL {
+			minTTL = rr.TTL
+			have = true
+		}
+	}
+	if !have {
+		return now.Add(fallback)
+	}
+	return now.Add(time.Duration(minTTL) * time.Second)
+}
+
+// Len returns the number of live entries at `now` (expired entries still
+// resident are not counted).
+func (c *Cache) Len(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Indexed {
+		n := 0
+		for _, ix := range c.indexes {
+			n += ix.live(now)
+		}
+		return n
+	}
+	n := 0
+	for _, list := range c.entries {
+		for _, e := range list {
+			if e.Expiry.After(now) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HighWater returns the maximum live-entry count ever reached. This is
+// the "cache size" the paper's blow-up factor compares.
+func (c *Cache) HighWater() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.high
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// PurgeExpired drops entries dead at `now` and returns how many were
+// removed.
+func (c *Cache) PurgeExpired(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Indexed {
+		removed := 0
+		for key, ix := range c.indexes {
+			r := ix.purge(now)
+			removed += r
+			c.live -= r
+			if ix.live(now) == 0 {
+				delete(c.indexes, key)
+			}
+		}
+		return removed
+	}
+	removed := 0
+	for key, list := range c.entries {
+		out := list[:0]
+		for _, e := range list {
+			if e.Expiry.After(now) {
+				out = append(out, e)
+			} else {
+				removed++
+				c.live--
+			}
+		}
+		if len(out) == 0 {
+			delete(c.entries, key)
+		} else {
+			c.entries[key] = out
+		}
+	}
+	return removed
+}
+
+// Flush empties the cache without resetting the high-water mark or
+// hit/miss counters.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key][]*Entry)
+	c.indexes = make(map[Key]*keyIndex)
+	c.live = 0
+}
+
+// lookupIndexed serves Lookup from the hash index. Callers hold the
+// lock.
+func (c *Cache) lookupIndexed(key Key, client netip.Addr, now time.Time) (*Entry, bool) {
+	ix := c.indexes[key]
+	if ix == nil {
+		c.misses++
+		return nil, false
+	}
+	if c.cfg.Mode == IgnoreScope {
+		if ix.shared != nil && ix.shared.Expiry.After(now) {
+			c.hits++
+			return ix.shared, true
+		}
+		c.misses++
+		return nil, false
+	}
+	if e, ok := ix.lookup(client, now); ok {
+		c.hits++
+		return e, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// insertIndexed serves Insert on the hash index. Callers hold the lock.
+func (c *Cache) insertIndexed(key Key, stored *Entry, scope uint8, now time.Time) {
+	ix := c.indexes[key]
+	if ix == nil {
+		ix = newKeyIndex()
+		c.indexes[key] = ix
+	}
+	// Collect this key's expired slots first, mirroring the linear
+	// path's per-insert cleanup, so live accounting is exact.
+	c.live -= ix.purge(now)
+
+	asShared := c.cfg.Mode == IgnoreScope || !stored.HasECS
+	if !asShared {
+		if _, ok := slotOf(stored, scope); !ok {
+			asShared = true
+		}
+	}
+	if asShared {
+		if ix.shared == nil {
+			c.live++
+		}
+		if c.cfg.Mode == IgnoreScope {
+			// Single entry per key: the newcomer owns the slot and any
+			// prefix entries are gone (they never exist in this mode).
+			ix.shared = stored
+		} else {
+			ix.shared = stored
+		}
+	} else {
+		slot, _ := slotOf(stored, scope)
+		if _, exists := ix.byPrefix[slot]; !exists {
+			c.live++
+		}
+		ix.insert(stored, scope)
+	}
+	if c.live > c.high {
+		c.high = c.live
+	}
+}

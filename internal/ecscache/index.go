@@ -1,0 +1,134 @@
+package ecscache
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// keyIndex is the alternative per-question lookup structure the ablation
+// benchmarks compare against the default linear scan: entries are hashed
+// by (scope, prefix-at-scope) and looked up by masking the client address
+// once per distinct scope present, turning an O(entries) scan into an
+// O(distinct scopes) probe. Real resolver caches face exactly this
+// choice; the distinct-scope count per question is tiny in practice
+// (most CDNs answer one scope), which is what makes the index pay off at
+// high per-question fanout.
+type keyIndex struct {
+	// byPrefix maps the cache slot identity to its entry.
+	byPrefix map[netip.Prefix]*Entry
+	// scopes is the descending list of distinct scope lengths present,
+	// per address family (4 and 6).
+	scopesV4 []int
+	scopesV6 []int
+	// shared is the non-ECS entry, matched by every client.
+	shared *Entry
+}
+
+func newKeyIndex() *keyIndex {
+	return &keyIndex{byPrefix: make(map[netip.Prefix]*Entry)}
+}
+
+// slotOf computes the index slot of an entry at its effective scope.
+func slotOf(e *Entry, scope uint8) (netip.Prefix, bool) {
+	if !e.HasECS || !e.Subnet.Addr.IsValid() {
+		return netip.Prefix{}, false
+	}
+	p, err := e.Subnet.Addr.Prefix(int(scope))
+	if err != nil {
+		return netip.Prefix{}, false
+	}
+	return p, true
+}
+
+// insert stores e at scope, replacing the slot's previous occupant.
+func (ix *keyIndex) insert(e *Entry, scope uint8) {
+	slot, ok := slotOf(e, scope)
+	if !ok {
+		ix.shared = e
+		return
+	}
+	if _, exists := ix.byPrefix[slot]; !exists {
+		scopes := &ix.scopesV4
+		if e.Subnet.Addr.Is6() && !e.Subnet.Addr.Is4In6() {
+			scopes = &ix.scopesV6
+		}
+		insertScope(scopes, int(scope))
+	}
+	ix.byPrefix[slot] = e
+}
+
+func insertScope(scopes *[]int, s int) {
+	for _, have := range *scopes {
+		if have == s {
+			return
+		}
+	}
+	*scopes = append(*scopes, s)
+	sort.Sort(sort.Reverse(sort.IntSlice(*scopes)))
+}
+
+// lookup finds the live entry with the longest scope covering client.
+func (ix *keyIndex) lookup(client netip.Addr, now time.Time) (*Entry, bool) {
+	if client.Is4In6() {
+		client = client.Unmap()
+	}
+	scopes := ix.scopesV4
+	if client.Is6() && !client.Is4() {
+		scopes = ix.scopesV6
+	}
+	for _, s := range scopes {
+		p, err := client.Prefix(s)
+		if err != nil {
+			continue
+		}
+		if e, ok := ix.byPrefix[p]; ok && e.Expiry.After(now) {
+			return e, true
+		}
+	}
+	if ix.shared != nil && ix.shared.Expiry.After(now) {
+		return ix.shared, true
+	}
+	return nil, false
+}
+
+// purge drops entries expired at now and returns how many were removed.
+func (ix *keyIndex) purge(now time.Time) int {
+	removed := 0
+	for slot, e := range ix.byPrefix {
+		if !e.Expiry.After(now) {
+			delete(ix.byPrefix, slot)
+			removed++
+		}
+	}
+	if ix.shared != nil && !ix.shared.Expiry.After(now) {
+		ix.shared = nil
+		removed++
+	}
+	// Rebuild scope lists from survivors (purge is rare; rebuild is
+	// simpler than refcounting).
+	ix.scopesV4 = ix.scopesV4[:0]
+	ix.scopesV6 = ix.scopesV6[:0]
+	for slot := range ix.byPrefix {
+		if slot.Addr().Is4() {
+			insertScope(&ix.scopesV4, slot.Bits())
+		} else {
+			insertScope(&ix.scopesV6, slot.Bits())
+		}
+	}
+	return removed
+}
+
+// live counts unexpired entries.
+func (ix *keyIndex) live(now time.Time) int {
+	n := 0
+	for _, e := range ix.byPrefix {
+		if e.Expiry.After(now) {
+			n++
+		}
+	}
+	if ix.shared != nil && ix.shared.Expiry.After(now) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package ecscache
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/dnswire"
+)
+
+// TestIndexedEquivalence drives identical random operation streams
+// through the linear and indexed caches and requires identical hit/miss
+// outcomes and identical returned entries.
+func TestIndexedEquivalence(t *testing.T) {
+	for _, mode := range []ScopeMode{HonorScope, IgnoreScope, CapScope} {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			linear := New(Config{Mode: mode, CapBits: 22, ClampScopeToSource: true})
+			indexed := New(Config{Mode: mode, CapBits: 22, ClampScopeToSource: true, Indexed: true})
+			rng := rand.New(rand.NewSource(int64(mode) + 31))
+			now := t0
+			for i := 0; i < 4000; i++ {
+				key := Key{Name: keyName(rng.Intn(8)), Type: 1, Class: 1}
+				var raw [4]byte
+				rng.Read(raw[:])
+				client := netip.AddrFrom4(raw)
+				if rng.Intn(3) == 0 {
+					source := []int{0, 8, 16, 22, 24}[rng.Intn(5)]
+					scope := []int{0, 8, 16, 22, 24, 28}[rng.Intn(6)]
+					e := ecsEntry(client.String(), source, scope, time.Duration(1+rng.Intn(40))*time.Second)
+					e.Expiry = now.Add(time.Duration(1+rng.Intn(40)) * time.Second)
+					linear.Insert(key, e, now)
+					indexed.Insert(key, e, now)
+				} else {
+					le, lok := linear.Lookup(key, client, now)
+					ie, iok := indexed.Lookup(key, client, now)
+					if lok != iok {
+						t.Fatalf("op %d: hit mismatch linear=%v indexed=%v (mode %v, client %s)",
+							i, lok, iok, mode, client)
+					}
+					if lok && mode != IgnoreScope {
+						// Same slot must answer: compare by stored subnet
+						// and expiry (pointer identity differs).
+						if le.Subnet != ie.Subnet || !le.Expiry.Equal(ie.Expiry) {
+							t.Fatalf("op %d: entry mismatch %v vs %v", i, le.Subnet, ie.Subnet)
+						}
+					}
+				}
+				now = now.Add(time.Duration(rng.Intn(2000)) * time.Millisecond)
+				if rng.Intn(50) == 0 {
+					lr := linear.PurgeExpired(now)
+					ir := indexed.PurgeExpired(now)
+					if lr != ir {
+						t.Fatalf("op %d: purge mismatch %d vs %d", i, lr, ir)
+					}
+				}
+			}
+			// Final live counts agree.
+			if l, ix := linear.Len(now), indexed.Len(now); l != ix {
+				t.Fatalf("final Len mismatch: linear=%d indexed=%d", l, ix)
+			}
+		})
+	}
+}
+
+func keyName(i int) dnswire.Name {
+	return dnswire.Name(fmt.Sprintf("k%d.example.", i))
+}

@@ -1,0 +1,235 @@
+// Package flatten reproduces the §8.4 CNAME-flattening case study
+// (Figure 8): a content provider whose zone apex is flattened by its DNS
+// provider loses ECS on the provider→CDN leg, so the first edge-server
+// mapping is driven by the DNS provider's location instead of the
+// client's, and an HTTP redirect to the www name (resolved with ECS end
+// to end) is needed to correct it. The experiment measures the full
+// page-access timeline both ways and reports the flattening penalty.
+package flatten
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/cdn"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/geo"
+	"ecsdns/internal/netem"
+	"ecsdns/internal/resolver"
+)
+
+// Config places the actors of Figure 8 on the map.
+type Config struct {
+	// Seed builds the world.
+	Seed int64
+	// ClientCity is where the end user sits.
+	ClientCity string
+	// ResolverCity is the public resolver front-end/egress location.
+	ResolverCity string
+	// ProviderCity is where the DNS provider's authoritative
+	// nameserver lives — the location the CDN sees for flattened
+	// queries.
+	ProviderCity string
+	// PassECSOnFlatten turns on the mitigation: the DNS provider
+	// forwards the client subnet when resolving the flattened name.
+	PassECSOnFlatten bool
+}
+
+// DefaultConfig mirrors the paper's observed setup: a client far from
+// the DNS provider, a nearby public resolver.
+var DefaultConfig = Config{
+	Seed:         11,
+	ClientCity:   "Sydney",
+	ResolverCity: "Melbourne",
+	ProviderCity: "Washington",
+}
+
+// Step is one timeline entry, mirroring the numbered steps of Figure 8.
+type Step struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// Result is the measured timeline.
+type Result struct {
+	Steps []Step
+	// E1 is the edge the flattened apex resolution produced; E2 the one
+	// the ECS-enabled www resolution produced.
+	E1, E2 netip.Addr
+	// E1RTT and E2RTT are client round-trip times to each edge.
+	E1RTT, E2RTT time.Duration
+	// ApexTotal is the full apex access (DNS + misdirected fetch +
+	// redirect + www DNS + fetch); DirectTotal is the www-only access.
+	ApexTotal, DirectTotal time.Duration
+	// Penalty = ApexTotal − DirectTotal: the cost of the flattening
+	// setup.
+	Penalty time.Duration
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Result, error) {
+	w := geo.Build(geo.Config{Seed: cfg.Seed, NumASes: 200, BlocksPerAS: 2})
+	n := netem.New(w)
+
+	const (
+		apexName = dnswire.Name("customer.example.")
+		wwwName  = dnswire.Name("www.customer.example.")
+		cdnName  = dnswire.Name("ex.cdn.example.net.")
+		cdnZone  = dnswire.Name("cdn.example.net.")
+	)
+
+	// CDN authoritative with proximity mapping, ECS-enabled.
+	cdnPolicy := cdn.NewGoogleLike(w)
+	cdnAuthAddr := w.AddrInCity(geo.CityIndex("Frankfurt"), 20, 53)
+	cdnAuth := authority.NewCDNServer(authority.Config{
+		Addr:       cdnAuthAddr,
+		ECSEnabled: true,
+		Now:        n.Clock().Now,
+	}, cdnZone, cdnPolicy, 20)
+	n.Register(cdnAuthAddr, cdnAuth)
+
+	// DNS provider authoritative for customer.example: www is a plain
+	// CNAME onto the CDN; the apex is flattened by resolving the CDN
+	// name on the backend.
+	providerAddr := w.AddrInCity(geo.CityIndex(cfg.ProviderCity), 21, 53)
+	provider := authority.NewServer(authority.Config{
+		Addr:       providerAddr,
+		ECSEnabled: true,
+		Now:        n.Clock().Now,
+	})
+	pz := authority.NewZone("customer.example.", 60)
+	pz.MustAdd(dnswire.RR{Name: wwwName, Data: dnswire.CNAMERData{Target: cdnName}})
+	provider.AddZone(pz)
+	provider.SetDynamic(func(q dnswire.Question, cs ecsopt.ClientSubnet, hasECS bool, from netip.Addr) ([]dnswire.RR, uint8, bool, bool) {
+		if q.Name != apexName || q.Type != dnswire.TypeA {
+			return nil, 0, false, false
+		}
+		// CNAME flattening: resolve the CDN name on the backend.
+		backend := dnswire.NewQuery(1, cdnName, dnswire.TypeA)
+		usedECS := false
+		if cfg.PassECSOnFlatten && hasECS {
+			ecsopt.Attach(backend, cs)
+			usedECS = true
+		} else {
+			backend.EDNS = dnswire.NewEDNS()
+		}
+		resp, _, err := n.Exchange(providerAddr, cdnAuthAddr, backend)
+		if err != nil {
+			return nil, 0, false, false
+		}
+		rrs := make([]dnswire.RR, 0, len(resp.Answers))
+		for _, rr := range resp.Answers {
+			if a, ok := rr.Data.(dnswire.ARData); ok {
+				rrs = append(rrs, dnswire.RR{
+					Name: apexName, Class: dnswire.ClassINET, TTL: rr.TTL,
+					Data: dnswire.ARData{Addr: a.Addr},
+				})
+			}
+		}
+		scope := uint8(0)
+		if usedECS {
+			if got, present, err := ecsopt.FromMessage(resp); present && err == nil {
+				scope = got.ScopePrefix
+			}
+		}
+		return rrs, scope, usedECS, true
+	})
+	n.Register(providerAddr, provider)
+
+	// Public resolver with ECS (front-end adds client subnets).
+	dir := resolver.NewDirectory()
+	dir.Add("customer.example.", providerAddr)
+	dir.Add(cdnZone, cdnAuthAddr)
+	resAddr := w.AddrInCity(geo.CityIndex(cfg.ResolverCity), 22, 53)
+	res := resolver.New(resolver.Config{
+		Addr:      resAddr,
+		Transport: n,
+		Now:       n.Clock().Now,
+		Directory: dir,
+		Profile:   resolver.GoogleLikeProfile(),
+		Seed:      1,
+	})
+	n.Register(resAddr, res)
+
+	client := w.AddrInCity(geo.CityIndex(cfg.ClientCity), 23, 10)
+	clientLoc, _ := w.Locate(client)
+
+	result := &Result{}
+	start := n.Clock().Now()
+	record := func(name string) {
+		result.Steps = append(result.Steps, Step{Name: name, Elapsed: n.Clock().Now().Sub(start)})
+	}
+
+	// Steps 1–6: resolve the apex via the resolver (flattened).
+	apexResp, _, err := n.Exchange(client, resAddr, dnswire.NewQuery(100, apexName, dnswire.TypeA))
+	if err != nil {
+		return nil, fmt.Errorf("apex resolution: %w", err)
+	}
+	e1, err := firstA(apexResp)
+	if err != nil {
+		return nil, fmt.Errorf("apex resolution: %w", err)
+	}
+	result.E1 = e1
+	record("resolve apex (flattened, no ECS on backend)")
+
+	// Steps 7–8: HTTP to E1 — TCP handshake plus the redirect exchange.
+	e1Loc, ok := w.Locate(e1)
+	if !ok {
+		return nil, fmt.Errorf("edge %s not locatable", e1)
+	}
+	result.E1RTT = time.Duration(geo.RTTMillis(clientLoc, e1Loc) * float64(time.Millisecond))
+	n.Clock().Advance(2 * result.E1RTT) // handshake + request/redirect
+	record("HTTP to E1, redirected to www")
+
+	// Steps 9–14: resolve www (CNAME onto the CDN, chased with ECS).
+	wwwResp, _, err := n.Exchange(client, resAddr, dnswire.NewQuery(101, wwwName, dnswire.TypeA))
+	if err != nil {
+		return nil, fmt.Errorf("www resolution: %w", err)
+	}
+	e2, err := firstA(wwwResp)
+	if err != nil {
+		return nil, fmt.Errorf("www resolution: %w", err)
+	}
+	result.E2 = e2
+	record("resolve www (CNAME chased with ECS)")
+
+	e2Loc, ok := w.Locate(e2)
+	if !ok {
+		return nil, fmt.Errorf("edge %s not locatable", e2)
+	}
+	result.E2RTT = time.Duration(geo.RTTMillis(clientLoc, e2Loc) * float64(time.Millisecond))
+	n.Clock().Advance(2 * result.E2RTT) // handshake + fetch
+	record("HTTP fetch from E2")
+	result.ApexTotal = n.Clock().Now().Sub(start)
+
+	// Direct www access for comparison, on a fresh resolver cache path
+	// (a distinct client subnet avoids reusing the cached answer).
+	direct := w.AddrInCity(geo.CityIndex(cfg.ClientCity), 24, 10)
+	startDirect := n.Clock().Now()
+	dResp, _, err := n.Exchange(direct, resAddr, dnswire.NewQuery(102, wwwName, dnswire.TypeA))
+	if err != nil {
+		return nil, fmt.Errorf("direct www resolution: %w", err)
+	}
+	e2b, err := firstA(dResp)
+	if err != nil {
+		return nil, fmt.Errorf("direct www resolution: %w", err)
+	}
+	e2bLoc, _ := w.Locate(e2b)
+	directLoc, _ := w.Locate(direct)
+	n.Clock().Advance(2 * time.Duration(geo.RTTMillis(directLoc, e2bLoc)*float64(time.Millisecond)))
+	result.DirectTotal = n.Clock().Now().Sub(startDirect)
+	result.Penalty = result.ApexTotal - result.DirectTotal
+	return result, nil
+}
+
+func firstA(m *dnswire.Message) (netip.Addr, error) {
+	for _, rr := range m.Answers {
+		if a, ok := rr.Data.(dnswire.ARData); ok {
+			return a.Addr, nil
+		}
+	}
+	return netip.Addr{}, fmt.Errorf("flatten: no A record in %d answers (rcode %v)", len(m.Answers), m.RCode)
+}

@@ -1,0 +1,122 @@
+package geo
+
+// City is a point of presence in the synthetic Internet: end-users,
+// resolvers and CDN edges are all placed in cities.
+type City struct {
+	Name    string
+	Country string  // ISO-ish short country name
+	Region  string  // continent-scale region
+	Lat     float64 // degrees north
+	Lon     float64 // degrees east
+	Weight  float64 // relative share of clients/infrastructure
+}
+
+// Cities is the built-in world catalog. Coordinates are approximate city
+// centers; weights roughly track metro population and Internet density.
+// The set intentionally includes every location the paper's experiments
+// name: Cleveland (the authors' vantage), Chicago, Mountain View, Zurich,
+// Johannesburg (Table 2), Santiago and Rome (the §8.2 12000 km example),
+// Toronto (CDN-2 fallback), and Beijing/Shanghai/Guangzhou (§8.2 China
+// structure).
+var Cities = []City{
+	// North America
+	{"New York", "US", "NA", 40.71, -74.01, 19.0},
+	{"Los Angeles", "US", "NA", 34.05, -118.24, 13.0},
+	{"Chicago", "US", "NA", 41.88, -87.63, 9.5},
+	{"Dallas", "US", "NA", 32.78, -96.80, 7.0},
+	{"Washington", "US", "NA", 38.91, -77.04, 6.0},
+	{"Atlanta", "US", "NA", 33.75, -84.39, 6.0},
+	{"Miami", "US", "NA", 25.76, -80.19, 6.0},
+	{"Seattle", "US", "NA", 47.61, -122.33, 4.0},
+	{"San Francisco", "US", "NA", 37.77, -122.42, 4.7},
+	{"Mountain View", "US", "NA", 37.39, -122.08, 1.0},
+	{"Denver", "US", "NA", 39.74, -104.99, 2.9},
+	{"Boston", "US", "NA", 42.36, -71.06, 4.8},
+	{"Cleveland", "US", "NA", 41.50, -81.69, 2.1},
+	{"Toronto", "CA", "NA", 43.65, -79.38, 6.2},
+	{"Vancouver", "CA", "NA", 49.28, -123.12, 2.5},
+	{"Montreal", "CA", "NA", 45.50, -73.57, 4.1},
+	{"Mexico City", "MX", "NA", 19.43, -99.13, 21.0},
+	// South America
+	{"Sao Paulo", "BR", "SA", -23.55, -46.63, 22.0},
+	{"Rio de Janeiro", "BR", "SA", -22.91, -43.17, 13.0},
+	{"Buenos Aires", "AR", "SA", -34.60, -58.38, 15.0},
+	{"Santiago", "CL", "SA", -33.45, -70.67, 6.8},
+	{"Lima", "PE", "SA", -12.05, -77.04, 10.0},
+	{"Bogota", "CO", "SA", 4.71, -74.07, 10.7},
+	// Europe
+	{"London", "GB", "EU", 51.51, -0.13, 14.0},
+	{"Paris", "FR", "EU", 48.86, 2.35, 11.0},
+	{"Frankfurt", "DE", "EU", 50.11, 8.68, 2.7},
+	{"Berlin", "DE", "EU", 52.52, 13.40, 3.6},
+	{"Amsterdam", "NL", "EU", 52.37, 4.90, 2.5},
+	{"Brussels", "BE", "EU", 50.85, 4.35, 2.1},
+	{"Madrid", "ES", "EU", 40.42, -3.70, 6.6},
+	{"Rome", "IT", "EU", 41.90, 12.50, 4.3},
+	{"Milan", "IT", "EU", 45.46, 9.19, 3.1},
+	{"Zurich", "CH", "EU", 47.37, 8.54, 1.4},
+	{"Vienna", "AT", "EU", 48.21, 16.37, 1.9},
+	{"Prague", "CZ", "EU", 50.08, 14.44, 1.3},
+	{"Warsaw", "PL", "EU", 52.23, 21.01, 1.8},
+	{"Stockholm", "SE", "EU", 59.33, 18.07, 1.6},
+	{"Helsinki", "FI", "EU", 60.17, 24.94, 1.3},
+	{"Dublin", "IE", "EU", 53.35, -6.26, 1.2},
+	{"Moscow", "RU", "EU", 55.76, 37.62, 12.5},
+	{"Istanbul", "TR", "EU", 41.01, 28.98, 15.5},
+	// Middle East & Africa
+	{"Dubai", "AE", "ME", 25.20, 55.27, 3.3},
+	{"Tel Aviv", "IL", "ME", 32.09, 34.78, 4.2},
+	{"Cairo", "EG", "AF", 30.04, 31.24, 20.9},
+	{"Lagos", "NG", "AF", 6.52, 3.38, 14.8},
+	{"Nairobi", "KE", "AF", -1.29, 36.82, 4.7},
+	{"Johannesburg", "ZA", "AF", -26.20, 28.05, 9.6},
+	{"Cape Town", "ZA", "AF", -33.92, 18.42, 4.6},
+	// Asia
+	{"Beijing", "CN", "AS", 39.90, 116.41, 21.5},
+	{"Shanghai", "CN", "AS", 31.23, 121.47, 27.0},
+	{"Guangzhou", "CN", "AS", 23.13, 113.26, 18.7},
+	{"Shenzhen", "CN", "AS", 22.54, 114.06, 17.5},
+	{"Chengdu", "CN", "AS", 30.57, 104.07, 16.3},
+	{"Tianjin", "CN", "AS", 39.13, 117.20, 13.6},
+	{"Wuhan", "CN", "AS", 30.59, 114.31, 11.0},
+	{"Xian", "CN", "AS", 34.34, 108.94, 12.9},
+	{"Hangzhou", "CN", "AS", 30.27, 120.16, 10.4},
+	{"Hong Kong", "HK", "AS", 22.32, 114.17, 7.5},
+	{"Taipei", "TW", "AS", 25.03, 121.57, 7.0},
+	{"Tokyo", "JP", "AS", 35.68, 139.69, 37.0},
+	{"Osaka", "JP", "AS", 34.69, 135.50, 19.0},
+	{"Seoul", "KR", "AS", 37.57, 126.98, 25.5},
+	{"Singapore", "SG", "AS", 1.35, 103.82, 5.9},
+	{"Bangkok", "TH", "AS", 13.76, 100.50, 10.5},
+	{"Jakarta", "ID", "AS", -6.21, 106.85, 10.6},
+	{"Manila", "PH", "AS", 14.60, 120.98, 13.9},
+	{"Mumbai", "IN", "AS", 19.08, 72.88, 20.4},
+	{"Delhi", "IN", "AS", 28.70, 77.10, 31.0},
+	{"Bangalore", "IN", "AS", 12.97, 77.59, 12.3},
+	// Oceania
+	{"Sydney", "AU", "OC", -33.87, 151.21, 5.3},
+	{"Melbourne", "AU", "OC", -37.81, 144.96, 5.1},
+	{"Auckland", "NZ", "OC", -36.85, 174.76, 1.7},
+}
+
+// CityIndex returns the index of the named city in Cities, or -1.
+func CityIndex(name string) int {
+	for i, c := range Cities {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CitiesInCountry returns the indices of all catalog cities in the given
+// country.
+func CitiesInCountry(country string) []int {
+	var out []int
+	for i, c := range Cities {
+		if c.Country == country {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package hiddensim generates and analyzes (forwarder, hidden resolver,
+// egress resolver) combinations — the unit of §8.2's study of how hidden
+// resolvers interact with ECS. Because egress resolvers derive ECS
+// prefixes from the immediate query sender, the hidden resolver's
+// location is what authoritative nameservers see; the analysis compares
+// the forwarder→hidden distance (what ECS conveys) against the
+// forwarder→egress distance (what plain resolver-based mapping would
+// use), reproducing the below/on/above-diagonal decomposition of
+// Figures 4 and 5.
+package hiddensim
+
+import (
+	"math/rand"
+
+	"ecsdns/internal/geo"
+	"ecsdns/internal/stats"
+)
+
+// Combo is one (forwarder, hidden, egress) combination with its two
+// distances.
+type Combo struct {
+	ForwarderCity int
+	HiddenCity    int
+	EgressCity    int
+	// FH is the forwarder→hidden distance in km (the ECS error) and FR
+	// the forwarder→egress distance (the no-ECS error).
+	FH float64
+	FR float64
+}
+
+// Config drives combination generation.
+type Config struct {
+	Seed   int64
+	Combos int
+	// ForwarderCities/Weights define where forwarders sit; nil means
+	// population-weighted over the whole catalog.
+	ForwarderCities  []int
+	ForwarderWeights []float64
+	// HubCities are the egress resolver locations (anycast sites or ISP
+	// resolver farms).
+	HubCities []int
+	// PHiddenSameCity is the probability the hidden resolver shares the
+	// forwarder's city; PHiddenRegional the probability it is a random
+	// city in the forwarder's region; the rest land in a random global
+	// city (the misconfigured DNS paths the paper observes, e.g. a
+	// Santiago forwarder chained through an Italian hidden resolver).
+	PHiddenSameCity float64
+	PHiddenRegional float64
+	// PEgressNearForwarder is the probability anycast routing picks the
+	// hub nearest the forwarder; otherwise it picks the hub nearest the
+	// hidden resolver (which relays the query).
+	PEgressNearForwarder float64
+	// PEgressRandomHub overrides both: with this probability the query
+	// lands on an arbitrary hub, modeling the long-haul anycast routing
+	// detours documented for large public resolvers (queries served by
+	// out-of-country datacenters).
+	PEgressRandomHub float64
+}
+
+// MPConfig models the major-public-resolver case of Figure 4: global
+// forwarder population, a worldwide anycast hub set, hidden resolvers
+// mostly local with a small badly-placed tail.
+func MPConfig() Config {
+	return Config{
+		Seed:   41,
+		Combos: 72500, // 1/10 of the paper's 725K
+		// The hub set skews toward interconnection cities rather than
+		// population centers, which keeps accidental forwarder/hub
+		// co-location (the on-diagonal band) rare, as in the paper.
+		HubCities: cityIdx(
+			"Denver", "Montreal", "Frankfurt", "Amsterdam", "Dublin",
+			"Stockholm", "Singapore", "Osaka", "Taipei", "Cape Town",
+			"Auckland", "Lima", "Zurich", "Mountain View",
+		),
+		PHiddenSameCity:      0.70,
+		PHiddenRegional:      0.20,
+		PEgressNearForwarder: 0.85,
+		PEgressRandomHub:     0.90,
+	}
+}
+
+// NonMPConfig models Figure 5: the non-MP ECS resolver population, which
+// the datasets show is dominated by Chinese ISPs with egress farms in
+// Beijing, Shanghai and Guangzhou.
+func NonMPConfig() Config {
+	chinaCities := cityIdx(
+		"Beijing", "Shanghai", "Guangzhou", "Shenzhen", "Chengdu",
+		"Tianjin", "Wuhan", "Xian", "Hangzhou",
+	)
+	return Config{
+		Seed:            42,
+		Combos:          21700, // 1/10 of the paper's 217K
+		ForwarderCities: chinaCities,
+		ForwarderWeights: []float64{
+			0.19, 0.21, 0.15, 0.10, 0.08, 0.07, 0.07, 0.07, 0.06,
+		},
+		HubCities:            cityIdx("Beijing", "Shanghai", "Guangzhou"),
+		PHiddenSameCity:      0.85,
+		PHiddenRegional:      0.13,
+		PEgressNearForwarder: 0.55,
+		PEgressRandomHub:     0.90,
+	}
+}
+
+func cityIdx(names ...string) []int {
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		i := geo.CityIndex(n)
+		if i < 0 {
+			panic("hiddensim: unknown city " + n)
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Generate draws the combination population.
+func Generate(cfg Config) []Combo {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	fwdCities := cfg.ForwarderCities
+	fwdWeights := cfg.ForwarderWeights
+	if fwdCities == nil {
+		fwdCities = make([]int, len(geo.Cities))
+		fwdWeights = make([]float64, len(geo.Cities))
+		for i, c := range geo.Cities {
+			fwdCities[i] = i
+			fwdWeights[i] = c.Weight
+		}
+	}
+	fwdSampler := stats.NewSampler(fwdWeights)
+
+	// Group catalog cities for the regional draw: same country when the
+	// country has several catalog cities (the China case), same
+	// continent-scale region otherwise.
+	byRegion := map[string][]int{}
+	byCountry := map[string][]int{}
+	for i, c := range geo.Cities {
+		byRegion[c.Region] = append(byRegion[c.Region], i)
+		byCountry[c.Country] = append(byCountry[c.Country], i)
+	}
+
+	out := make([]Combo, cfg.Combos)
+	for i := range out {
+		f := fwdCities[fwdSampler.Draw(rng)]
+		fLoc := geo.LocationOfCity(f)
+
+		// Hidden resolver placement.
+		var h int
+		switch r := rng.Float64(); {
+		case r < cfg.PHiddenSameCity:
+			h = f
+		case r < cfg.PHiddenSameCity+cfg.PHiddenRegional:
+			pool := byCountry[geo.Cities[f].Country]
+			if len(pool) < 2 {
+				pool = byRegion[geo.Cities[f].Region]
+			}
+			h = pool[rng.Intn(len(pool))]
+		default:
+			h = rng.Intn(len(geo.Cities))
+		}
+		hLoc := geo.LocationOfCity(h)
+
+		// Egress hub selection.
+		var e int
+		if rng.Float64() < cfg.PEgressRandomHub {
+			e = cfg.HubCities[rng.Intn(len(cfg.HubCities))]
+		} else {
+			anchor := fLoc
+			if rng.Float64() >= cfg.PEgressNearForwarder {
+				anchor = hLoc
+			}
+			e = nearestOf(cfg.HubCities, anchor)
+		}
+		eLoc := geo.LocationOfCity(e)
+
+		out[i] = Combo{
+			ForwarderCity: f,
+			HiddenCity:    h,
+			EgressCity:    e,
+			FH:            geo.DistanceKm(fLoc, hLoc),
+			FR:            geo.DistanceKm(fLoc, eLoc),
+		}
+	}
+	return out
+}
+
+func nearestOf(cities []int, loc geo.Location) int {
+	best, bestD := -1, 0.0
+	for _, ci := range cities {
+		d := geo.DistanceKm(loc, geo.LocationOfCity(ci))
+		if best < 0 || d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	return best
+}
+
+// Fractions is the diagonal decomposition the paper reports: Below means
+// the hidden resolver is farther from the forwarder than the egress
+// resolver is (ECS actively hurts), On means equidistant (ECS does not
+// help), Above means the hidden resolver is closer (ECS helps).
+type Fractions struct {
+	Below, On, Above float64
+}
+
+// diagEpsilonKm treats city-level co-location as equality, mirroring the
+// geolocation granularity of the paper's EdgeScape analysis.
+const diagEpsilonKm = 1.0
+
+// Analyze computes the diagonal decomposition.
+func Analyze(combos []Combo) Fractions {
+	if len(combos) == 0 {
+		return Fractions{}
+	}
+	var below, on, above int
+	for _, c := range combos {
+		switch {
+		case c.FH > c.FR+diagEpsilonKm:
+			below++
+		case c.FH < c.FR-diagEpsilonKm:
+			above++
+		default:
+			on++
+		}
+	}
+	n := float64(len(combos))
+	return Fractions{
+		Below: float64(below) / n,
+		On:    float64(on) / n,
+		Above: float64(above) / n,
+	}
+}
+
+// HexbinOf aggregates the (FH, FR) scatter at the given bin size (km),
+// the textual stand-in for the paper's hexbin plots.
+func HexbinOf(combos []Combo, binKm float64) *stats.Hexbin {
+	h := stats.NewHexbin(binKm)
+	for _, c := range combos {
+		// The paper plots F-H on the y axis and F-R on the x axis;
+		// points below the diagonal have FH > FR.
+		h.Add(c.FH, c.FR)
+	}
+	return h
+}
+
+// WorstPenalty returns the combo with the largest FH−FR gap — the
+// paper's Santiago-to-Italy style pathology.
+func WorstPenalty(combos []Combo) Combo {
+	var worst Combo
+	for _, c := range combos {
+		if c.FH-c.FR > worst.FH-worst.FR {
+			worst = c
+		}
+	}
+	return worst
+}

@@ -1,0 +1,181 @@
+package netem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ecsdns/internal/dnswire"
+)
+
+// Capture records every exchange on a network to a stream — the
+// simulation's equivalent of the PF_RING tcpdump the paper ran on its
+// scanner and experimental nameserver. Install with Attach, detach with
+// Close, and replay with ReadCapture.
+//
+// The format is a length-prefixed binary framing of (time, endpoints,
+// RTT, query wire bytes, response wire bytes); messages are stored in
+// real DNS wire format so external tools can decode them.
+type Capture struct {
+	mu  sync.Mutex
+	w   io.Writer
+	n   int64
+	err error
+}
+
+// captureMagic heads every capture stream (format version 1).
+var captureMagic = [4]byte{'E', 'C', 'S', 1}
+
+// NewCapture starts a capture stream on w, writing the header
+// immediately.
+func NewCapture(w io.Writer) (*Capture, error) {
+	if _, err := w.Write(captureMagic[:]); err != nil {
+		return nil, fmt.Errorf("netem: capture header: %w", err)
+	}
+	return &Capture{w: w}, nil
+}
+
+// Attach installs the capture as the network's wire tap and returns a
+// detach function restoring the previous tap.
+func (c *Capture) Attach(n *Network) (detach func()) {
+	prev := n.WireTap
+	n.WireTap = func(ev Event) {
+		c.record(ev)
+		if prev != nil {
+			prev(ev)
+		}
+	}
+	return func() { n.WireTap = prev }
+}
+
+// Records returns how many exchanges have been written.
+func (c *Capture) Records() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Err returns the first write or encode error, if any; once set, further
+// events are dropped.
+func (c *Capture) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *Capture) record(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	qBytes, err := ev.Query.Pack()
+	if err != nil {
+		c.err = err
+		return
+	}
+	rBytes, err := ev.Response.Pack()
+	if err != nil {
+		c.err = err
+		return
+	}
+	var hdr [8 + 16 + 16 + 8 + 4 + 4]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(ev.Time.UnixNano()))
+	from16 := ev.From.As16()
+	to16 := ev.To.As16()
+	copy(hdr[8:24], from16[:])
+	copy(hdr[24:40], to16[:])
+	binary.BigEndian.PutUint64(hdr[40:], uint64(ev.RTT))
+	binary.BigEndian.PutUint32(hdr[48:], uint32(len(qBytes)))
+	binary.BigEndian.PutUint32(hdr[52:], uint32(len(rBytes)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.w.Write(qBytes); err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.w.Write(rBytes); err != nil {
+		c.err = err
+		return
+	}
+	c.n++
+}
+
+// CapturedExchange is one decoded capture record.
+type CapturedExchange struct {
+	Time     time.Time
+	From, To netip.Addr
+	RTT      time.Duration
+	Query    *dnswire.Message
+	Response *dnswire.Message
+}
+
+// ErrBadCapture marks a stream that is not a capture or is corrupt.
+var ErrBadCapture = errors.New("netem: not a capture stream")
+
+// maxCapturedMessage bounds per-message allocations when reading
+// untrusted capture files.
+const maxCapturedMessage = dnswire.MaxMessageSize
+
+// ReadCapture decodes a full capture stream.
+func ReadCapture(r io.Reader) ([]CapturedExchange, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, ErrBadCapture
+	}
+	if magic != captureMagic {
+		return nil, ErrBadCapture
+	}
+	var out []CapturedExchange
+	var hdr [56]byte
+	for {
+		_, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netem: capture record header: %w", err)
+		}
+		qLen := binary.BigEndian.Uint32(hdr[48:])
+		rLen := binary.BigEndian.Uint32(hdr[52:])
+		if qLen > maxCapturedMessage || rLen > maxCapturedMessage {
+			return nil, fmt.Errorf("%w: oversized record", ErrBadCapture)
+		}
+		buf := make([]byte, int(qLen)+int(rLen))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("netem: capture record body: %w", err)
+		}
+		q, err := dnswire.Unpack(buf[:qLen])
+		if err != nil {
+			return nil, fmt.Errorf("netem: captured query: %w", err)
+		}
+		resp, err := dnswire.Unpack(buf[qLen:])
+		if err != nil {
+			return nil, fmt.Errorf("netem: captured response: %w", err)
+		}
+		out = append(out, CapturedExchange{
+			Time:     time.Unix(0, int64(binary.BigEndian.Uint64(hdr[0:]))).UTC(),
+			From:     addrFrom16(hdr[8:24]),
+			To:       addrFrom16(hdr[24:40]),
+			RTT:      time.Duration(binary.BigEndian.Uint64(hdr[40:])),
+			Query:    q,
+			Response: resp,
+		})
+	}
+}
+
+func addrFrom16(b []byte) netip.Addr {
+	var a [16]byte
+	copy(a[:], b)
+	addr := netip.AddrFrom16(a)
+	if addr.Is4In6() {
+		return addr.Unmap()
+	}
+	return addr
+}

@@ -1,0 +1,128 @@
+package netem
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/geo"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	w := testWorld()
+	n := New(w)
+	server := w.AddrInCity(geo.CityIndex("Chicago"), 0, 1)
+	n.Register(server, HandlerFunc(func(_ netip.Addr, q *dnswire.Message) *dnswire.Message {
+		r := dnswire.NewResponse(q)
+		r.Answers = []dnswire.RR{{
+			Name: q.Question().Name, Class: dnswire.ClassINET, TTL: 20,
+			Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+		}}
+		if q.EDNS != nil {
+			if cs, present, err := ecsopt.FromMessage(q); present && err == nil {
+				r.EDNS = dnswire.NewEDNS()
+				ecsopt.Attach(r, cs.WithScope(20))
+			}
+		}
+		return r
+	}))
+	client := w.AddrInCity(geo.CityIndex("Cleveland"), 0, 2)
+
+	var buf bytes.Buffer
+	cap, err := NewCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detach := cap.Attach(n)
+
+	for i := 0; i < 5; i++ {
+		q := dnswire.NewQuery(uint16(i+1), dnswire.Name("h"+string(rune('a'+i))+".example."), dnswire.TypeA)
+		ecsopt.Attach(q, ecsopt.MustNew(client, 24))
+		if _, _, err := n.Exchange(client, server, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	detach()
+	// Post-detach exchanges are not recorded.
+	if _, _, err := n.Exchange(client, server, dnswire.NewQuery(99, "after.example.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	if cap.Records() != 5 {
+		t.Fatalf("Records = %d, want 5", cap.Records())
+	}
+	if cap.Err() != nil {
+		t.Fatal(cap.Err())
+	}
+
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i, ex := range got {
+		if ex.From != client || ex.To != server {
+			t.Fatalf("record %d endpoints: %s → %s", i, ex.From, ex.To)
+		}
+		if ex.Query.ID != uint16(i+1) || ex.Response.ID != uint16(i+1) {
+			t.Fatalf("record %d IDs: %d/%d", i, ex.Query.ID, ex.Response.ID)
+		}
+		if ex.RTT <= 0 {
+			t.Fatalf("record %d RTT %v", i, ex.RTT)
+		}
+		cs, present, err := ecsopt.FromMessage(ex.Response)
+		if err != nil || !present || cs.ScopePrefix != 20 {
+			t.Fatalf("record %d response ECS: %v %v %v", i, cs, present, err)
+		}
+		if len(ex.Response.Answers) != 1 {
+			t.Fatalf("record %d answers: %v", i, ex.Response.Answers)
+		}
+	}
+	// Times are monotone non-decreasing (virtual clock).
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatal("capture times not monotone")
+		}
+	}
+}
+
+func TestReadCaptureRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOPE",
+		"ECS\x02rest", // wrong version
+	}
+	for _, c := range cases {
+		if _, err := ReadCapture(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+	// Truncated record body.
+	var buf bytes.Buffer
+	cap, err := NewCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cap
+	buf.Write(make([]byte, 56)) // header claiming zero-length messages
+	if _, err := ReadCapture(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("zero-length messages decoded as valid DNS")
+	}
+}
+
+func TestReadCaptureBoundsRecordSizes(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewCapture(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, 56)
+	hdr[48] = 0xFF // qLen ≈ 4 GB
+	buf.Write(hdr)
+	if _, err := ReadCapture(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Package netem provides the in-memory network the simulations run on: a
+// virtual clock, a registry of DNS-speaking nodes addressed by IP, and a
+// synchronous exchange primitive whose latency is derived from the
+// geographic distance between the endpoints. It lets thousands of
+// resolvers, forwarders and authoritative servers interact without
+// sockets while keeping time and latency semantics realistic.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/geo"
+)
+
+// Clock is a virtual clock. Simulations advance it explicitly; nothing in
+// this module reads the wall clock on a simulated path.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// SimStart is the epoch simulations start at by default. Its specific
+// value is irrelevant; it is fixed so runs are reproducible.
+var SimStart = time.Date(2019, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// NewClock returns a clock set to start.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t if t is in the future.
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// Handler is a DNS-speaking simulation node. Handlers may issue their own
+// exchanges on the same network (a resolver querying an authority) from
+// inside HandleDNS.
+type Handler interface {
+	HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.Message
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from netip.Addr, query *dnswire.Message) *dnswire.Message
+
+// HandleDNS implements Handler.
+func (f HandlerFunc) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.Message {
+	return f(from, query)
+}
+
+// Exchange errors.
+var (
+	ErrNoRoute = errors.New("netem: no node at destination address")
+	ErrDropped = errors.New("netem: node dropped the query")
+	ErrLost    = errors.New("netem: packet lost in transit")
+)
+
+// Network is the in-memory Internet fabric.
+type Network struct {
+	world *geo.Internet
+	clock *Clock
+
+	mu    sync.RWMutex
+	nodes map[netip.Addr]Handler
+	// place overrides geolocation for addresses outside the synthetic
+	// address plan (e.g. anycast service addresses).
+	place map[netip.Addr]geo.Location
+
+	// WireTap, when non-nil, observes every exchange after it completes.
+	WireTap func(ev Event)
+
+	// loss is the per-exchange drop probability (failure injection);
+	// lossRNG drives it deterministically.
+	loss    float64
+	lossRNG *rand.Rand
+
+	// CountExchanges tracks the total number of exchanges for load
+	// accounting.
+	counter struct {
+		sync.Mutex
+		n int64
+	}
+}
+
+// Event is one completed exchange, as seen by the wire tap.
+type Event struct {
+	From, To netip.Addr
+	Query    *dnswire.Message
+	Response *dnswire.Message
+	RTT      time.Duration
+	Time     time.Time
+}
+
+// New creates a network over the given world with its own virtual clock.
+func New(world *geo.Internet) *Network {
+	return &Network{
+		world: world,
+		clock: NewClock(SimStart),
+		nodes: make(map[netip.Addr]Handler),
+		place: make(map[netip.Addr]geo.Location),
+	}
+}
+
+// Clock returns the network's virtual clock.
+func (n *Network) Clock() *Clock { return n.clock }
+
+// World returns the underlying topology.
+func (n *Network) World() *geo.Internet { return n.world }
+
+// Register attaches a handler at addr. Registering nil detaches.
+func (n *Network) Register(addr netip.Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h == nil {
+		delete(n.nodes, addr)
+		return
+	}
+	n.nodes[addr] = h
+}
+
+// Place pins an explicit location for addr, overriding (or supplying, for
+// out-of-plan addresses) its geolocation.
+func (n *Network) Place(addr netip.Addr, loc geo.Location) {
+	n.mu.Lock()
+	n.place[addr] = loc
+	n.mu.Unlock()
+}
+
+// LocationOf resolves the effective location of addr: explicit placement
+// first, then the synthetic address plan. ok is false when neither knows
+// the address.
+func (n *Network) LocationOf(addr netip.Addr) (geo.Location, bool) {
+	n.mu.RLock()
+	loc, ok := n.place[addr]
+	n.mu.RUnlock()
+	if ok {
+		return loc, true
+	}
+	return n.world.Locate(addr)
+}
+
+// RTT returns the modeled round-trip time between two addresses. Unknown
+// endpoints contribute only the base RTT.
+func (n *Network) RTT(a, b netip.Addr) time.Duration {
+	la, oka := n.LocationOf(a)
+	lb, okb := n.LocationOf(b)
+	if !oka || !okb {
+		return time.Duration(geo.BaseRTTMillis * float64(time.Millisecond))
+	}
+	ms := geo.RTTMillis(la, lb)
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// SetLoss installs a per-exchange packet-loss probability for failure
+// injection, driven by a deterministic seed. p ≤ 0 disables loss.
+func (n *Network) SetLoss(p float64, seed int64) {
+	n.mu.Lock()
+	n.loss = p
+	n.lossRNG = rand.New(rand.NewSource(seed))
+	n.mu.Unlock()
+}
+
+// Exchange sends query from `from` to `to`, advances the virtual clock by
+// the path RTT, and returns the response along with that RTT. A nil
+// response from the handler maps to ErrDropped, modeling the silent drops
+// the paper describes for buggy nameservers; injected loss maps to
+// ErrLost after a full timeout-equivalent delay.
+func (n *Network) Exchange(from, to netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	n.mu.RLock()
+	h, ok := n.nodes[to]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoRoute, to)
+	}
+	n.mu.Lock()
+	lost := n.loss > 0 && n.lossRNG != nil && n.lossRNG.Float64() < n.loss
+	n.mu.Unlock()
+	if lost {
+		// The sender burns a timeout waiting for the lost datagram.
+		n.clock.Advance(time.Second)
+		n.counter.Lock()
+		n.counter.n++
+		n.counter.Unlock()
+		return nil, time.Second, ErrLost
+	}
+	rtt := n.RTT(from, to)
+	// One-way trip before the handler runs, the return trip after, so
+	// nested exchanges made by the handler observe a sensible clock.
+	n.clock.Advance(rtt / 2)
+	resp := h.HandleDNS(from, query)
+	n.clock.Advance(rtt - rtt/2)
+	n.counter.Lock()
+	n.counter.n++
+	n.counter.Unlock()
+	if resp == nil {
+		return nil, rtt, ErrDropped
+	}
+	if tap := n.WireTap; tap != nil {
+		tap(Event{From: from, To: to, Query: query, Response: resp, RTT: rtt, Time: n.clock.Now()})
+	}
+	return resp, rtt, nil
+}
+
+// Exchanges returns the number of completed or dropped exchanges so far.
+func (n *Network) Exchanges() int64 {
+	n.counter.Lock()
+	defer n.counter.Unlock()
+	return n.counter.n
+}

@@ -1,0 +1,350 @@
+// Package passive analyzes authoritative-side query logs the way the
+// paper analyzes the CDN dataset: it classifies each resolver's ECS
+// probing pattern (§6.1), tabulates the source prefix lengths resolvers
+// convey (Table 1, including the jammed-last-byte detection), and
+// compares passive against active discovery of ECS resolvers (§5).
+package passive
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// ProbePattern is a §6.1 behavior class.
+type ProbePattern int
+
+// Probing behavior classes, in the order the paper reports them.
+const (
+	// PatternAllQueries: 100% of A/AAAA queries carry ECS.
+	PatternAllQueries ProbePattern = iota
+	// PatternHostnamesNoCache: ECS consistently for specific hostnames,
+	// re-queried within TTL (caching disabled for them).
+	PatternHostnamesNoCache
+	// PatternInterval: ECS probes for a single query string at ~30 min
+	// multiples, carrying the loopback address.
+	PatternInterval
+	// PatternOnMiss: ECS for specific hostnames but never within a
+	// minute of the previous query for the same name.
+	PatternOnMiss
+	// PatternUnclassified: ECS on some subset with no discernible
+	// pattern.
+	PatternUnclassified
+	// PatternNoECS: the resolver never sent ECS (not part of the 4147).
+	PatternNoECS
+)
+
+// String returns the class name.
+func (p ProbePattern) String() string {
+	switch p {
+	case PatternAllQueries:
+		return "all-queries"
+	case PatternHostnamesNoCache:
+		return "hostnames-no-cache"
+	case PatternInterval:
+		return "interval-loopback"
+	case PatternOnMiss:
+		return "on-miss"
+	case PatternUnclassified:
+		return "unclassified"
+	case PatternNoECS:
+		return "no-ecs"
+	}
+	return "unknown"
+}
+
+// ResolverLog is the per-resolver slice of a passive dataset.
+type ResolverLog struct {
+	Resolver netip.Addr
+	Records  []authority.LogRecord // time-sorted
+}
+
+// GroupByResolver splits a log stream per resolver, sorting each
+// resolver's records by time.
+func GroupByResolver(recs []authority.LogRecord) []ResolverLog {
+	byRes := make(map[netip.Addr][]authority.LogRecord)
+	for _, r := range recs {
+		byRes[r.Resolver] = append(byRes[r.Resolver], r)
+	}
+	out := make([]ResolverLog, 0, len(byRes))
+	for addr, rs := range byRes {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Time.Before(rs[j].Time) })
+		out = append(out, ResolverLog{Resolver: addr, Records: rs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resolver.Less(out[j].Resolver) })
+	return out
+}
+
+// ClassifyProbing assigns a resolver's log to a §6.1 behavior class.
+// answerTTL is the TTL the authority returned (20 s for the CDN
+// dataset); it feeds the caching-disabled detection.
+func ClassifyProbing(log ResolverLog, answerTTL time.Duration) ProbePattern {
+	addressQueries := 0
+	ecsQueries := 0
+	ecsNames := map[dnswire.Name]bool{}
+	plainNames := map[dnswire.Name]bool{}
+	loopbackOnly := true
+	lastByName := map[dnswire.Name]time.Time{}
+	ecsWithinTTL := false
+	ecsWithinMinute := false
+	// plainLongGap marks names that were queried *without* ECS at a gap
+	// of a minute or more — inconsistent with the on-miss pattern.
+	plainLongGap := map[dnswire.Name]bool{}
+	var ecsTimes []time.Time
+
+	for _, r := range log.Records {
+		if r.Type != dnswire.TypeA && r.Type != dnswire.TypeAAAA {
+			continue
+		}
+		addressQueries++
+		last, seen := lastByName[r.Name]
+		if seen {
+			gap := r.Time.Sub(last)
+			if r.QueryHasECS && gap < answerTTL {
+				ecsWithinTTL = true
+			}
+			if r.QueryHasECS && gap < time.Minute {
+				ecsWithinMinute = true
+			}
+			if !r.QueryHasECS && gap >= time.Minute {
+				plainLongGap[r.Name] = true
+			}
+		}
+		lastByName[r.Name] = r.Time
+		if r.QueryHasECS {
+			ecsQueries++
+			ecsNames[r.Name] = true
+			if r.QueryECS.Addr != LoopbackAddr {
+				loopbackOnly = false
+			}
+			ecsTimes = append(ecsTimes, r.Time)
+		} else {
+			plainNames[r.Name] = true
+		}
+	}
+
+	if ecsQueries == 0 {
+		return PatternNoECS
+	}
+	if ecsQueries == addressQueries {
+		return PatternAllQueries
+	}
+	// Interval probers dedicate a single query string to loopback
+	// probes at regular multiples of the period; the same string may
+	// also be queried plainly between probes, so this check precedes
+	// the mixed-name test.
+	if len(ecsNames) == 1 && loopbackOnly && intervalsRegular(ecsTimes, 30*time.Minute) {
+		return PatternInterval
+	}
+	// Names that appear with both ECS and plain queries break the
+	// "specific hostnames, caching disabled" pattern…
+	mixed := false
+	for n := range ecsNames {
+		if plainNames[n] {
+			mixed = true
+			break
+		}
+	}
+	if ecsWithinTTL && !mixed {
+		return PatternHostnamesNoCache
+	}
+	// …but not the on-miss pattern, whose within-a-minute queries for
+	// an ECS hostname legitimately go out plain. The pattern does
+	// require consistency: an ECS hostname queried plainly at a long
+	// gap would have been a cache miss, so a true on-miss resolver
+	// would have attached ECS.
+	if !ecsWithinMinute {
+		consistent := true
+		for n := range ecsNames {
+			if plainLongGap[n] {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			return PatternOnMiss
+		}
+	}
+	return PatternUnclassified
+}
+
+// LoopbackAddr is the probe address interval probers use.
+var LoopbackAddr = netip.MustParseAddr("127.0.0.1")
+
+// intervalsRegular reports whether successive times are spaced at
+// (approximate) multiples of period.
+func intervalsRegular(ts []time.Time, period time.Duration) bool {
+	if len(ts) < 2 {
+		return true
+	}
+	for i := 1; i < len(ts); i++ {
+		gap := ts[i].Sub(ts[i-1])
+		if gap <= 0 {
+			continue
+		}
+		mult := float64(gap) / float64(period)
+		nearest := float64(int(mult + 0.5))
+		if nearest == 0 {
+			return false
+		}
+		if diff := mult - nearest; diff > 0.2 || diff < -0.2 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProbingCensus counts resolvers per behavior class.
+func ProbingCensus(logs []ResolverLog, answerTTL time.Duration) map[ProbePattern]int {
+	out := make(map[ProbePattern]int)
+	for _, l := range logs {
+		out[ClassifyProbing(l, answerTTL)]++
+	}
+	return out
+}
+
+// PrefixLengthRow is one line of Table 1: a combination of source prefix
+// lengths a resolver used.
+type PrefixLengthRow struct {
+	Label string
+	Count int
+}
+
+// PrefixProfileOf renders a resolver's prefix-length usage as a Table 1
+// row label: the sorted list of lengths, annotated with "/jammed last
+// byte" when every 32-bit prefix shares a fixed final octet, and with
+// "(IPv6)" for v6 lengths.
+func PrefixProfileOf(log ResolverLog) string {
+	v4 := map[uint8]bool{}
+	v6 := map[uint8]bool{}
+	jammed := true
+	var jamValue *byte
+	for _, r := range log.Records {
+		if !r.QueryHasECS {
+			continue
+		}
+		cs := r.QueryECS
+		switch cs.Family {
+		case ecsopt.FamilyIPv4:
+			v4[cs.SourcePrefix] = true
+			if cs.SourcePrefix == 32 {
+				b := cs.Addr.As4()[3]
+				if jamValue == nil {
+					jamValue = &b
+				} else if *jamValue != b {
+					jammed = false
+				}
+			}
+		case ecsopt.FamilyIPv6:
+			v6[cs.SourcePrefix] = true
+		}
+	}
+	var parts []string
+	for _, l := range sortedKeys(v4) {
+		s := fmt.Sprintf("%d", l)
+		if l == 32 && jamValue != nil && jammed {
+			s += "/jammed last byte"
+		}
+		parts = append(parts, s)
+	}
+	label := strings.Join(parts, ",")
+	if len(v6) > 0 {
+		var p6 []string
+		for _, l := range sortedKeys(v6) {
+			p6 = append(p6, fmt.Sprintf("%d", l))
+		}
+		if label != "" {
+			label += " + "
+		}
+		label += strings.Join(p6, ",") + " (IPv6)"
+	}
+	if label == "" {
+		label = "none"
+	}
+	return label
+}
+
+func sortedKeys(m map[uint8]bool) []uint8 {
+	out := make([]uint8, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PrefixLengthTable builds Table 1 from per-resolver logs: rows sorted by
+// descending count then label.
+func PrefixLengthTable(logs []ResolverLog) []PrefixLengthRow {
+	counts := map[string]int{}
+	for _, l := range logs {
+		label := PrefixProfileOf(l)
+		if label == "none" {
+			continue
+		}
+		counts[label]++
+	}
+	rows := make([]PrefixLengthRow, 0, len(counts))
+	for label, c := range counts {
+		rows = append(rows, PrefixLengthRow{Label: label, Count: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Label < rows[j].Label
+	})
+	return rows
+}
+
+// Discovery compares passive and active resolver discovery (§5).
+type Discovery struct {
+	PassiveECS int // ECS resolvers seen in the passive logs
+	ActiveECS  int // egress resolvers found via the scan
+	Overlap    int // active resolvers also present passively
+}
+
+// CompareDiscovery computes the §5 comparison from the two resolver
+// sets.
+func CompareDiscovery(passive, active map[netip.Addr]bool) Discovery {
+	d := Discovery{PassiveECS: len(passive), ActiveECS: len(active)}
+	for a := range active {
+		if passive[a] {
+			d.Overlap++
+		}
+	}
+	return d
+}
+
+// ECSResolverSet extracts the set of resolvers that sent at least one
+// ECS query.
+func ECSResolverSet(logs []ResolverLog) map[netip.Addr]bool {
+	out := make(map[netip.Addr]bool)
+	for _, l := range logs {
+		for _, r := range l.Records {
+			if r.QueryHasECS {
+				out[l.Resolver] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RootECSViolators counts resolvers that sent ECS queries to a root
+// server log (the DITL analysis: 15 resolvers).
+func RootECSViolators(recs []authority.LogRecord) int {
+	seen := map[netip.Addr]bool{}
+	for _, r := range recs {
+		if r.QueryHasECS {
+			seen[r.Resolver] = true
+		}
+	}
+	return len(seen)
+}

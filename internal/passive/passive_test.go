@@ -1,0 +1,257 @@
+package passive
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+var t0 = time.Date(2018, 11, 6, 0, 0, 0, 0, time.UTC)
+
+func lr(sec int, res string, name string, ecs *ecsopt.ClientSubnet) authority.LogRecord {
+	r := authority.LogRecord{
+		Time:     t0.Add(time.Duration(sec) * time.Second),
+		Resolver: netip.MustParseAddr(res),
+		Name:     dnswire.MustParseName(name),
+		Type:     dnswire.TypeA,
+	}
+	if ecs != nil {
+		r.QueryHasECS = true
+		r.QueryECS = *ecs
+	}
+	return r
+}
+
+func subnet(s string, bits int) *ecsopt.ClientSubnet {
+	cs := ecsopt.MustNew(netip.MustParseAddr(s), bits)
+	return &cs
+}
+
+func TestGroupByResolverSortsAndSplits(t *testing.T) {
+	recs := []authority.LogRecord{
+		lr(10, "1.1.1.1", "a.example.", nil),
+		lr(5, "1.1.1.1", "b.example.", nil),
+		lr(1, "2.2.2.2", "c.example.", nil),
+	}
+	logs := GroupByResolver(recs)
+	if len(logs) != 2 {
+		t.Fatalf("groups = %d", len(logs))
+	}
+	if logs[0].Resolver != netip.MustParseAddr("1.1.1.1") {
+		t.Fatal("groups not sorted by resolver")
+	}
+	if logs[0].Records[0].Name != "b.example." {
+		t.Fatal("records not time-sorted")
+	}
+}
+
+func TestClassifyAllQueries(t *testing.T) {
+	log := ResolverLog{Resolver: netip.MustParseAddr("1.1.1.1"), Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "a.example.", subnet("203.0.113.0", 24)),
+		lr(5, "1.1.1.1", "b.example.", subnet("203.0.114.0", 24)),
+		lr(9, "1.1.1.1", "c.example.", subnet("203.0.115.0", 24)),
+	}}
+	if got := ClassifyProbing(log, 20*time.Second); got != PatternAllQueries {
+		t.Fatalf("got %v, want all-queries", got)
+	}
+}
+
+func TestClassifyHostnamesNoCache(t *testing.T) {
+	// ECS consistently for one hostname, re-queried inside the 20 s TTL;
+	// other names plain.
+	log := ResolverLog{Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "pinned.example.", subnet("203.0.113.0", 24)),
+		lr(8, "1.1.1.1", "pinned.example.", subnet("203.0.113.0", 24)),
+		lr(12, "1.1.1.1", "other.example.", nil),
+		lr(16, "1.1.1.1", "pinned.example.", subnet("203.0.113.0", 24)),
+	}}
+	if got := ClassifyProbing(log, 20*time.Second); got != PatternHostnamesNoCache {
+		t.Fatalf("got %v, want hostnames-no-cache", got)
+	}
+}
+
+func TestClassifyIntervalLoopback(t *testing.T) {
+	loop := subnet("127.0.0.1", 32)
+	log := ResolverLog{Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "probe.example.", loop),
+		lr(30, "1.1.1.1", "a.example.", nil),
+		lr(1800, "1.1.1.1", "probe.example.", loop),
+		lr(2000, "1.1.1.1", "b.example.", nil),
+		lr(5400, "1.1.1.1", "probe.example.", loop), // 2× 30 min later
+	}}
+	if got := ClassifyProbing(log, 20*time.Second); got != PatternInterval {
+		t.Fatalf("got %v, want interval-loopback", got)
+	}
+}
+
+func TestClassifyOnMiss(t *testing.T) {
+	// ECS for one hostname but only when ≥1 min has passed since the
+	// previous query for it.
+	log := ResolverLog{Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "m.example.", subnet("203.0.113.0", 24)),
+		lr(120, "1.1.1.1", "m.example.", subnet("203.0.113.0", 24)),
+		lr(130, "1.1.1.1", "x.example.", nil),
+		lr(300, "1.1.1.1", "m.example.", subnet("203.0.113.0", 24)),
+	}}
+	if got := ClassifyProbing(log, 20*time.Second); got != PatternOnMiss {
+		t.Fatalf("got %v, want on-miss", got)
+	}
+}
+
+func TestClassifyUnclassified(t *testing.T) {
+	// Same name queried both with and without ECS at odd times.
+	log := ResolverLog{Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "a.example.", subnet("203.0.113.0", 24)),
+		lr(3, "1.1.1.1", "a.example.", nil),
+		lr(9, "1.1.1.1", "a.example.", subnet("203.0.113.0", 24)),
+		lr(11, "1.1.1.1", "b.example.", nil),
+	}}
+	if got := ClassifyProbing(log, 20*time.Second); got != PatternUnclassified {
+		t.Fatalf("got %v, want unclassified", got)
+	}
+}
+
+func TestClassifyNoECS(t *testing.T) {
+	log := ResolverLog{Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "a.example.", nil),
+	}}
+	if got := ClassifyProbing(log, 20*time.Second); got != PatternNoECS {
+		t.Fatalf("got %v, want no-ecs", got)
+	}
+}
+
+func TestProbingCensus(t *testing.T) {
+	logs := []ResolverLog{
+		{Records: []authority.LogRecord{lr(0, "1.1.1.1", "a.example.", subnet("203.0.113.0", 24))}},
+		{Records: []authority.LogRecord{lr(0, "2.2.2.2", "a.example.", nil)}},
+	}
+	census := ProbingCensus(logs, 20*time.Second)
+	if census[PatternAllQueries] != 1 || census[PatternNoECS] != 1 {
+		t.Fatalf("census = %v", census)
+	}
+}
+
+func TestPrefixProfileJammed(t *testing.T) {
+	jam := func(third byte) *ecsopt.ClientSubnet {
+		cs := ecsopt.MustNew(netip.AddrFrom4([4]byte{203, 0, third, 1}), 32)
+		return &cs
+	}
+	log := ResolverLog{Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "a.example.", jam(1)),
+		lr(1, "1.1.1.1", "b.example.", jam(2)),
+		lr(2, "1.1.1.1", "c.example.", jam(3)),
+	}}
+	if got := PrefixProfileOf(log); got != "32/jammed last byte" {
+		t.Fatalf("profile = %q", got)
+	}
+}
+
+func TestPrefixProfileNotJammedWhenBytesVary(t *testing.T) {
+	v := func(last byte) *ecsopt.ClientSubnet {
+		cs := ecsopt.MustNew(netip.AddrFrom4([4]byte{203, 0, 1, last}), 32)
+		return &cs
+	}
+	log := ResolverLog{Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "a.example.", v(17)),
+		lr(1, "1.1.1.1", "b.example.", v(202)),
+	}}
+	if got := PrefixProfileOf(log); got != "32" {
+		t.Fatalf("profile = %q", got)
+	}
+}
+
+func TestPrefixProfileCombination(t *testing.T) {
+	log := ResolverLog{Records: []authority.LogRecord{
+		lr(0, "1.1.1.1", "a.example.", subnet("203.0.113.0", 24)),
+		lr(1, "1.1.1.1", "b.example.", subnet("203.0.113.128", 25)),
+		lr(2, "1.1.1.1", "c.example.", subnet("2001:db8::", 48)),
+	}}
+	if got := PrefixProfileOf(log); got != "24,25 + 48 (IPv6)" {
+		t.Fatalf("profile = %q", got)
+	}
+}
+
+func TestPrefixLengthTableOrdering(t *testing.T) {
+	mk := func(res string, bits int) ResolverLog {
+		return ResolverLog{Records: []authority.LogRecord{
+			lr(0, res, "a.example.", subnet("203.0.113.0", bits)),
+		}}
+	}
+	logs := []ResolverLog{
+		mk("1.1.1.1", 24), mk("2.2.2.2", 24), mk("3.3.3.3", 24),
+		mk("4.4.4.4", 22),
+		{Records: []authority.LogRecord{lr(0, "5.5.5.5", "a.example.", nil)}},
+	}
+	rows := PrefixLengthTable(logs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Label != "24" || rows[0].Count != 3 {
+		t.Fatalf("top row = %+v", rows[0])
+	}
+	if rows[1].Label != "22" || rows[1].Count != 1 {
+		t.Fatalf("second row = %+v", rows[1])
+	}
+}
+
+func TestCompareDiscovery(t *testing.T) {
+	p := map[netip.Addr]bool{
+		netip.MustParseAddr("1.1.1.1"): true,
+		netip.MustParseAddr("2.2.2.2"): true,
+		netip.MustParseAddr("3.3.3.3"): true,
+	}
+	a := map[netip.Addr]bool{
+		netip.MustParseAddr("2.2.2.2"): true,
+		netip.MustParseAddr("9.9.9.9"): true,
+	}
+	d := CompareDiscovery(p, a)
+	if d.PassiveECS != 3 || d.ActiveECS != 2 || d.Overlap != 1 {
+		t.Fatalf("discovery = %+v", d)
+	}
+}
+
+func TestECSResolverSet(t *testing.T) {
+	logs := GroupByResolver([]authority.LogRecord{
+		lr(0, "1.1.1.1", "a.example.", subnet("203.0.113.0", 24)),
+		lr(0, "2.2.2.2", "a.example.", nil),
+	})
+	set := ECSResolverSet(logs)
+	if len(set) != 1 || !set[netip.MustParseAddr("1.1.1.1")] {
+		t.Fatalf("set = %v", set)
+	}
+}
+
+func TestRootECSViolators(t *testing.T) {
+	recs := []authority.LogRecord{
+		lr(0, "1.1.1.1", ".", subnet("203.0.113.0", 24)),
+		lr(1, "1.1.1.1", ".", subnet("203.0.113.0", 24)),
+		lr(2, "2.2.2.2", ".", nil),
+		lr(3, "3.3.3.3", ".", subnet("203.0.114.0", 24)),
+	}
+	if got := RootECSViolators(recs); got != 2 {
+		t.Fatalf("violators = %d, want 2", got)
+	}
+}
+
+func TestIntervalsRegular(t *testing.T) {
+	mk := func(mins ...int) []time.Time {
+		out := make([]time.Time, len(mins))
+		for i, m := range mins {
+			out[i] = t0.Add(time.Duration(m) * time.Minute)
+		}
+		return out
+	}
+	if !intervalsRegular(mk(0, 30, 90, 120), 30*time.Minute) {
+		t.Fatal("30-min multiples rejected")
+	}
+	if intervalsRegular(mk(0, 7, 12), 30*time.Minute) {
+		t.Fatal("irregular intervals accepted")
+	}
+	if !intervalsRegular(mk(0), 30*time.Minute) {
+		t.Fatal("single sample must pass")
+	}
+}

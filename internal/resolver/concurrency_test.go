@@ -1,0 +1,101 @@
+package resolver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+)
+
+// TestConcurrentClients hammers one resolver from many goroutines: the
+// cache, counters and probing state are shared and must stay consistent
+// under the race detector.
+func TestConcurrentClients(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	const (
+		goroutines = 16
+		perG       = 50
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := rg.client("London", 9+g%4)
+			for i := 0; i < perG; i++ {
+				name := dnswire.Name(fmt.Sprintf("c%d.test.example.", i%10))
+				q := dnswire.NewQuery(uint16(g*perG+i), name, dnswire.TypeA)
+				q.EDNS = dnswire.NewEDNS()
+				resp, _, err := rg.net.Exchange(client, rg.res.Addr(), q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.RCode != dnswire.RCodeNoError {
+					errs <- fmt.Errorf("rcode %v", resp.RCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	clientQ, upstreamQ := rg.res.Counters()
+	if clientQ != goroutines*perG {
+		t.Fatalf("client queries = %d, want %d", clientQ, goroutines*perG)
+	}
+	if upstreamQ > clientQ {
+		t.Fatalf("upstream %d exceeds client %d", upstreamQ, clientQ)
+	}
+	// The cache must have absorbed most of the repetition.
+	if upstreamQ*2 > clientQ {
+		t.Fatalf("cache ineffective under concurrency: %d upstream for %d client", upstreamQ, clientQ)
+	}
+}
+
+// TestConcurrentMixedProfiles runs different-profile resolvers in
+// parallel against the same authority.
+func TestConcurrentMixedProfiles(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	profiles := []Profile{
+		CompliantProfile(), IgnoreScopeProfile(), JammedProfile(),
+		Cap22Profile(), AdaptiveProfile(),
+	}
+	var resolvers []*Resolver
+	for i, p := range profiles {
+		addr := rg.world.AddrInCity(i*3%10, 40+i, 53)
+		r := New(Config{
+			Addr: addr, Transport: rg.net, Now: rg.net.Clock().Now,
+			Directory: rg.res.cfg.Directory, Profile: p, Seed: int64(i),
+		})
+		rg.net.Register(addr, r)
+		resolvers = append(resolvers, r)
+	}
+	var wg sync.WaitGroup
+	for i, r := range resolvers {
+		wg.Add(1)
+		go func(i int, r *Resolver) {
+			defer wg.Done()
+			client := rg.client("Paris", i)
+			for j := 0; j < 40; j++ {
+				name := dnswire.Name(fmt.Sprintf("m%d.test.example.", j%5))
+				q := dnswire.NewQuery(uint16(j), name, dnswire.TypeA)
+				q.EDNS = dnswire.NewEDNS()
+				rg.net.Exchange(client, r.Addr(), q) //nolint:errcheck
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for i, r := range resolvers {
+		c, _ := r.Counters()
+		if c != 40 {
+			t.Fatalf("resolver %d served %d queries", i, c)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package resolver
+
+import (
+	"net/netip"
+	"testing"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+)
+
+func TestWhitelistProfileSendsOnlyToListedZones(t *testing.T) {
+	p := WhitelistProfile("test.example.")
+	rg := newRig(t, p, authority.ScopeFixed(24))
+	// Add a second zone on the same authority, not whitelisted.
+	other := authority.NewZone("other.example.", 20)
+	other.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: addrOf("192.0.2.91")})
+	rg.auth.AddZone(other)
+	dir := NewDirectory()
+	dir.Add("test.example.", rg.authAddr)
+	dir.Add("other.example.", rg.authAddr)
+	rg.res.cfg.Directory = dir
+
+	c := rg.client("London", 9)
+	rg.ask(t, c, "a.test.example", nil)
+	rg.ask(t, c, "a.other.example", nil)
+	if len(rg.logs) != 2 {
+		t.Fatalf("authority saw %d queries", len(rg.logs))
+	}
+	if !rg.logs[0].QueryHasECS {
+		t.Fatal("whitelisted zone did not get ECS")
+	}
+	if rg.logs[1].QueryHasECS {
+		t.Fatal("non-whitelisted zone got ECS")
+	}
+}
+
+func TestAdaptiveProfileLearnsScope(t *testing.T) {
+	// The authority answers every query with scope /16; an adaptive
+	// resolver's second miss conveys only 16 bits.
+	rg := newRig(t, AdaptiveProfile(), authority.ScopeFixed(16))
+	c1 := rg.client("London", 9)
+	rg.ask(t, c1, "a.test.example", nil)
+	if rg.logs[0].QueryECS.SourcePrefix != 24 {
+		t.Fatalf("first query conveyed /%d, want /24", rg.logs[0].QueryECS.SourcePrefix)
+	}
+	// A different /16 forces a second upstream query.
+	a := c1.As4()
+	a[1] ^= 0x1
+	c2 := addr4(a)
+	rg.ask(t, c2, "a.test.example", nil)
+	if len(rg.logs) != 2 {
+		t.Fatalf("authority saw %d queries", len(rg.logs))
+	}
+	if got := rg.logs[1].QueryECS.SourcePrefix; got != 16 {
+		t.Fatalf("adapted query conveyed /%d, want learned /16", got)
+	}
+}
+
+func TestAdaptiveProfileDoesNotWidenOnLongScope(t *testing.T) {
+	// Scope == source: nothing to learn; prefix stays /24.
+	rg := newRig(t, AdaptiveProfile(), authority.ScopeFixed(24))
+	c := rg.client("London", 9)
+	rg.ask(t, c, "a.test.example", nil)
+	c2 := rg.client("Tokyo", 9)
+	rg.ask(t, c2, "a.test.example", nil)
+	for i, rec := range rg.logs {
+		if rec.QueryECS.SourcePrefix != 24 {
+			t.Fatalf("query %d conveyed /%d", i, rec.QueryECS.SourcePrefix)
+		}
+	}
+}
+
+func TestNonAdaptiveProfileKeepsFullPrefix(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(16))
+	c1 := rg.client("London", 9)
+	rg.ask(t, c1, "a.test.example", nil)
+	a := c1.As4()
+	a[1] ^= 0x1
+	rg.ask(t, addr4(a), "a.test.example", nil)
+	if got := rg.logs[1].QueryECS.SourcePrefix; got != 24 {
+		t.Fatalf("non-adaptive resolver conveyed /%d", got)
+	}
+}
+
+func TestMixedPrefixCycling(t *testing.T) {
+	p := FullPrefixProfile()
+	p.MixedV4Bits = []int{24, 25}
+	rg := newRig(t, p, authority.ScopeFixed(24))
+	c := rg.client("London", 9)
+	rg.ask(t, c, "m1.test.example", nil)
+	rg.ask(t, c, "m2.test.example", nil)
+	seen := map[uint8]bool{}
+	for _, rec := range rg.logs {
+		seen[rec.QueryECS.SourcePrefix] = true
+	}
+	if !seen[24] || !seen[25] {
+		t.Fatalf("mixed prefixes not cycled: %v", seen)
+	}
+}
+
+func addrOf(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func addr4(a [4]byte) netip.Addr { return netip.AddrFrom4(a) }

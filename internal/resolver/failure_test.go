@@ -1,0 +1,129 @@
+package resolver
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+)
+
+func TestRetriesSurviveInjectedLoss(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	// 40% loss: with 3 attempts per query, resolution still succeeds
+	// almost always; assert over several names.
+	rg.net.SetLoss(0.4, 7)
+	ok := 0
+	for i := 0; i < 20; i++ {
+		name := dnswire.Name(rune('a'+i)) + "loss.test.example."
+		q := dnswire.NewQuery(uint16(i+1), dnswire.MustParseName(string(name)), dnswire.TypeA)
+		// A real stub client retries its own leg too.
+		var resp *dnswire.Message
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			resp, _, err = rg.net.Exchange(rg.client("London", 9), rg.res.Addr(), q)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			continue
+		}
+		if resp.RCode == dnswire.RCodeNoError && len(resp.Answers) == 1 {
+			ok++
+		}
+	}
+	if ok < 16 {
+		t.Fatalf("only %d/20 queries succeeded under 40%% loss with retries", ok)
+	}
+	_, up := rg.res.Counters()
+	if up <= int64(ok) {
+		t.Fatalf("upstream attempts %d do not reflect retries for %d successes", up, ok)
+	}
+}
+
+func TestTotalLossYieldsServfail(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	rg.net.SetLoss(1.0, 7)
+	q := dnswire.NewQuery(1, "dead.test.example.", dnswire.TypeA)
+	resp, _, err := rg.net.Exchange(rg.client("London", 9), rg.res.Addr(), q)
+	// Either the client leg was lost (error) or the resolver answered
+	// SERVFAIL after exhausting retries.
+	if err == nil && resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode = %v under total loss", resp.RCode)
+	}
+}
+
+func TestNegativeCachingUsesSOAMinimum(t *testing.T) {
+	// An NXDOMAIN answer must be cached for the SOA minimum (60 s in
+	// the rig's zone), not refetched per query, and must expire.
+	w := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	// Rig zone wildcard answers everything; use a separate zone without
+	// a wildcard to get NXDOMAIN.
+	nxZone := authority.NewZone("nx.example.", 20)
+	nxZone.MustAdd(dnswire.RR{Name: "exists.nx.example.", Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.9")}})
+	w.auth.AddZone(nxZone)
+	dir := NewDirectory()
+	dir.Add("test.example.", w.authAddr)
+	dir.Add("nx.example.", w.authAddr)
+	w.res.cfg.Directory = dir
+
+	c := w.client("London", 9)
+	ask := func() *dnswire.Message {
+		q := dnswire.NewQuery(3, "missing.nx.example.", dnswire.TypeA)
+		resp, _, err := w.net.Exchange(c, w.res.Addr(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := ask()
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", resp.RCode)
+	}
+	upstreamAfterFirst := len(w.logs)
+	ask()
+	if len(w.logs) != upstreamAfterFirst {
+		t.Fatal("NXDOMAIN not served from the negative cache")
+	}
+	// The zone SOA minimum is 60 s (authority.NewZone default); after
+	// it passes, the next query goes upstream again.
+	w.net.Clock().Advance(61 * time.Second)
+	ask()
+	if len(w.logs) != upstreamAfterFirst+1 {
+		t.Fatalf("negative entry did not expire: %d upstream queries", len(w.logs))
+	}
+}
+
+func TestNegativeTTLHelper(t *testing.T) {
+	soa := dnswire.RR{
+		Name: "zone.example.", Class: dnswire.ClassINET, TTL: 100,
+		Data: dnswire.SOARData{Minimum: 60},
+	}
+	if got := negativeTTL([]dnswire.RR{soa}); got != 60*time.Second {
+		t.Fatalf("negativeTTL = %v, want SOA minimum", got)
+	}
+	soa.TTL = 10 // SOA TTL lower than minimum: RFC 2308 takes the min
+	if got := negativeTTL([]dnswire.RR{soa}); got != 10*time.Second {
+		t.Fatalf("negativeTTL = %v, want SOA TTL", got)
+	}
+	if got := negativeTTL(nil); got != 30*time.Second {
+		t.Fatalf("negativeTTL fallback = %v", got)
+	}
+}
+
+func TestRetriesConfig(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	if rg.res.retries() != 2 {
+		t.Fatalf("default retries = %d", rg.res.retries())
+	}
+	rg.res.cfg.Retries = -1
+	if rg.res.retries() != 0 {
+		t.Fatalf("negative Retries must mean no retries")
+	}
+	rg.res.cfg.Retries = 5
+	if rg.res.retries() != 5 {
+		t.Fatalf("explicit retries = %d", rg.res.retries())
+	}
+}

@@ -1,0 +1,578 @@
+// Package resolver implements a recursive DNS resolver with complete,
+// configurable ECS behavior: probing strategies, source-prefix policies,
+// scope-aware caching, and every deviant behavior class the paper
+// observes in the wild. It also provides the forwarder and hidden-
+// resolver roles that sit between end hosts and egress resolvers.
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecscache"
+	"ecsdns/internal/ecsopt"
+)
+
+// Transport moves DNS messages between simulation nodes; netem.Network
+// implements it.
+type Transport interface {
+	Exchange(from, to netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error)
+}
+
+// Directory maps zone suffixes to authoritative server addresses. It
+// stands in for full iterative resolution: the experiments care about the
+// resolver↔authority ECS interaction, not NS discovery.
+type Directory struct {
+	mu    sync.RWMutex
+	zones map[dnswire.Name]netip.Addr
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{zones: make(map[dnswire.Name]netip.Addr)}
+}
+
+// Add registers the authoritative address for a zone.
+func (d *Directory) Add(zone dnswire.Name, addr netip.Addr) {
+	d.mu.Lock()
+	d.zones[zone] = addr
+	d.mu.Unlock()
+}
+
+// Lookup returns the authority for the most specific zone containing
+// name.
+func (d *Directory) Lookup(name dnswire.Name) (netip.Addr, dnswire.Name, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var (
+		bestZone dnswire.Name
+		bestAddr netip.Addr
+		found    bool
+	)
+	for zone, addr := range d.zones {
+		if name.IsSubdomainOf(zone) {
+			if !found || zone.CountLabels() > bestZone.CountLabels() {
+				bestZone, bestAddr, found = zone, addr, true
+			}
+		}
+	}
+	return bestAddr, bestZone, found
+}
+
+// Config assembles a Resolver.
+type Config struct {
+	// Addr is the resolver's egress address.
+	Addr netip.Addr
+	// Transport carries upstream queries.
+	Transport Transport
+	// Now supplies (virtual) time.
+	Now func() time.Time
+	// Directory locates authoritative servers.
+	Directory *Directory
+	// Profile is the ECS behavior profile.
+	Profile Profile
+	// Seed drives the resolver's private randomness (IDs, ProbeRandom).
+	Seed int64
+	// Retries is the number of additional upstream attempts after a
+	// lost or dropped query (default 2).
+	Retries int
+}
+
+// Resolver is an egress recursive resolver.
+type Resolver struct {
+	cfg   Config
+	cache *ecscache.Cache
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	mixedIdx  int
+	lastProbe map[netip.Addr]time.Time   // ProbeInterval state per authority
+	lastSeen  map[ecscache.Key]time.Time // ProbeOnMiss recency window
+	randNames map[dnswire.Name]bool      // ProbeRandom per-name coin flips
+	adapted   map[netip.Addr]int         // AdaptSourceToScope learned bits
+	// Upstream counters let experiments measure query amplification.
+	upstreamQueries int64
+	clientQueries   int64
+}
+
+// New creates a resolver from cfg.
+func New(cfg Config) *Resolver {
+	if cfg.Now == nil {
+		panic("resolver: Config.Now is required")
+	}
+	return &Resolver{
+		cfg: cfg,
+		cache: ecscache.New(ecscache.Config{
+			Mode:               cfg.Profile.CacheMode,
+			CapBits:            cfg.Profile.CacheCapBits,
+			ClampScopeToSource: cfg.Profile.ClampScopeToSource,
+		}),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		lastProbe: make(map[netip.Addr]time.Time),
+		lastSeen:  make(map[ecscache.Key]time.Time),
+		randNames: make(map[dnswire.Name]bool),
+		adapted:   make(map[netip.Addr]int),
+	}
+}
+
+// Addr returns the resolver's egress address.
+func (r *Resolver) Addr() netip.Addr { return r.cfg.Addr }
+
+// Cache exposes the resolver's cache for measurement.
+func (r *Resolver) Cache() *ecscache.Cache { return r.cache }
+
+// Counters returns (client queries served, upstream queries sent).
+func (r *Resolver) Counters() (client, upstream int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clientQueries, r.upstreamQueries
+}
+
+// HandleDNS serves one client query: cache, ECS policy, upstream
+// resolution. It implements netem.Handler.
+func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.Message {
+	resp := dnswire.NewResponse(query)
+	resp.RecursionAvailable = true
+	if query.OpCode != dnswire.OpQuery || len(query.Questions) != 1 {
+		resp.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	r.mu.Lock()
+	r.clientQueries++
+	r.mu.Unlock()
+
+	q := query.Question()
+	now := r.cfg.Now()
+	key := ecscache.KeyOf(q)
+
+	// Establish the client identity this query resolves for.
+	clientAddr, clientBits, fromClientECS := r.clientIdentity(from, query)
+
+	// Probe-name bookkeeping for the on-miss strategy.
+	withinMinute := false
+	if r.cfg.Profile.Probing == ProbeOnMiss {
+		r.mu.Lock()
+		if last, ok := r.lastSeen[key]; ok && now.Sub(last) < time.Minute {
+			withinMinute = true
+		}
+		r.lastSeen[key] = now
+		r.mu.Unlock()
+	}
+
+	bypassCache := r.cfg.Profile.Probing == ProbeHostnames && r.isProbeName(q.Name)
+
+	if !bypassCache {
+		if e, ok := r.cache.Lookup(key, clientAddr, now); ok {
+			r.answerFromEntry(resp, e, now, fromClientECS || query.EDNS != nil, clientAddr, clientBits)
+			return resp
+		}
+	}
+
+	// Miss: resolve upstream, chasing CNAME chains that leave the
+	// answering zone (the www→CDN redirection path of §8.4).
+	var (
+		answers   []dnswire.RR
+		authority []dnswire.RR
+		rcode     dnswire.RCode
+		sent      ecsopt.ClientSubnet
+		sentECS   bool
+		respECS   ecsopt.ClientSubnet
+		respHas   bool
+	)
+	target := q.Name
+	for hop := 0; hop < 8; hop++ {
+		authAddr, zone, ok := r.cfg.Directory.Lookup(target)
+		if !ok {
+			resp.RCode = dnswire.RCodeServFail
+			return resp
+		}
+		up := dnswire.NewQuery(r.randUint16(), target, q.Type)
+		up.RecursionDesired = false
+		hopQ := dnswire.Question{Name: target, Type: q.Type, Class: q.Class}
+		attach, probeSubnet := r.ecsDecision(authAddr, zone, hopQ, now, withinMinute, clientAddr, clientBits)
+		hopSent := ecsopt.ClientSubnet{}
+		hopSentECS := false
+		if attach {
+			hopSent = probeSubnet
+			hopSentECS = true
+			ecsopt.Attach(up, hopSent)
+		} else {
+			up.EDNS = dnswire.NewEDNS()
+		}
+		var upResp *dnswire.Message
+		var err error
+		for attempt := 0; attempt <= r.retries(); attempt++ {
+			r.mu.Lock()
+			r.upstreamQueries++
+			r.mu.Unlock()
+			upResp, _, err = r.cfg.Transport.Exchange(r.cfg.Addr, authAddr, up)
+			if err == nil && upResp != nil {
+				break
+			}
+		}
+		if err != nil || upResp == nil {
+			resp.RCode = dnswire.RCodeServFail
+			return resp
+		}
+		// Extract the authoritative scope, leniently: misbehaving
+		// servers are part of the ecosystem under test.
+		hopECS, hopHas, decodeErr := extractLenient(upResp)
+		if decodeErr != nil {
+			hopHas = false
+		}
+		answers = append(answers, upResp.Answers...)
+		authority = upResp.Authorities
+		rcode = upResp.RCode
+		if hopHas {
+			respECS, respHas = hopECS, true
+			sent, sentECS = hopSent, hopSentECS
+			// Learn coarser authoritative scopes for future queries.
+			if r.cfg.Profile.AdaptSourceToScope && hopSentECS &&
+				hopECS.ScopePrefix > 0 && hopECS.ScopePrefix < hopSent.SourcePrefix {
+				r.mu.Lock()
+				if cur, ok := r.adapted[authAddr]; !ok || int(hopECS.ScopePrefix) < cur {
+					r.adapted[authAddr] = int(hopECS.ScopePrefix)
+				}
+				r.mu.Unlock()
+			}
+		} else if hop == 0 {
+			sent, sentECS = hopSent, hopSentECS
+		}
+		next, dangling := danglingCNAME(answers, q.Type)
+		if !dangling || rcode != dnswire.RCodeNoError {
+			break
+		}
+		target = next
+	}
+
+	// Populate the cache. Empty (negative) answers live for the SOA
+	// minimum from the authority section, per RFC 2308.
+	respHasECS := respHas
+	entry := ecscache.Entry{
+		Answer:    answers,
+		Authority: authority,
+		RCode:     rcode,
+		Expiry:    ecscache.TTLBound(now, answers, negativeTTL(authority)),
+	}
+	if respHasECS && sentECS {
+		entry.HasECS = true
+		entry.Subnet = sent.WithScope(int(respECS.ScopePrefix))
+	}
+	skipCache := bypassCache ||
+		(r.cfg.Profile.NoCacheScopeZero && entry.HasECS && respECS.ScopePrefix == 0)
+	if !skipCache {
+		r.cache.Insert(key, entry, now)
+	}
+
+	// Answer the client.
+	resp.RCode = rcode
+	resp.Answers = answers
+	resp.Authorities = authority
+	if query.EDNS != nil {
+		resp.EDNS = dnswire.NewEDNS()
+		if respHasECS && (fromClientECS || sentECS) {
+			scope := 0
+			if entry.HasECS {
+				scope = int(respECS.ScopePrefix)
+			}
+			echo, err := ecsopt.New(clientAddr, clientBits)
+			if err == nil {
+				ecsopt.Attach(resp, echo.WithScope(scope))
+			}
+		}
+	}
+	return resp
+}
+
+// clientIdentity derives (address, prefix bits, clientSuppliedECS) for an
+// incoming query per the profile's trust settings.
+func (r *Resolver) clientIdentity(from netip.Addr, query *dnswire.Message) (netip.Addr, int, bool) {
+	p := r.cfg.Profile
+	if p.AcceptClientECS {
+		if cs, present, err := ecsopt.FromMessage(query); present && err == nil && !cs.IsZero() {
+			bits := int(cs.SourcePrefix)
+			if bits > p.maxClientBits() {
+				bits = p.maxClientBits()
+			}
+			return ecsopt.MaskAddr(cs.Addr, bits), bits, true
+		}
+	}
+	// Sender-derived: the immediate source of the query is the client as
+	// far as this resolver can tell (this is exactly how hidden-resolver
+	// prefixes leak into ECS).
+	isV6 := from.Is6() && !from.Is4In6()
+	return from, r.cfg.Profile.sourceBits(isV6), false
+}
+
+// ecsDecision applies the probing strategy for one upstream query,
+// returning whether to attach ECS and the option to attach.
+func (r *Resolver) ecsDecision(auth netip.Addr, zone dnswire.Name, q dnswire.Question, now time.Time, withinMinute bool, clientAddr netip.Addr, clientBits int) (bool, ecsopt.ClientSubnet) {
+	p := r.cfg.Profile
+	if zone == dnswire.Root && !p.SendECSToRoot {
+		return false, ecsopt.ClientSubnet{}
+	}
+	if q.Type != dnswire.TypeA && q.Type != dnswire.TypeAAAA && !p.SendECSForAllTypes {
+		return false, ecsopt.ClientSubnet{}
+	}
+	switch p.Probing {
+	case ProbeNever:
+		return false, ecsopt.ClientSubnet{}
+	case ProbeWhitelist:
+		for _, z := range p.ECSZoneWhitelist {
+			if zone == z {
+				return true, r.adaptedSubnet(auth, clientAddr, clientBits)
+			}
+		}
+		return false, ecsopt.ClientSubnet{}
+	case ProbeAlways:
+		return true, r.adaptedSubnet(auth, clientAddr, clientBits)
+	case ProbeHostnames:
+		if r.isProbeName(q.Name) {
+			return true, r.buildSubnet(clientAddr, clientBits)
+		}
+		return false, ecsopt.ClientSubnet{}
+	case ProbeOnMiss:
+		if r.isProbeName(q.Name) && !withinMinute {
+			return true, r.buildSubnet(clientAddr, clientBits)
+		}
+		return false, ecsopt.ClientSubnet{}
+	case ProbeInterval:
+		r.mu.Lock()
+		last, seen := r.lastProbe[auth]
+		due := !seen || now.Sub(last) >= r.interval()
+		if due {
+			r.lastProbe[auth] = now
+		}
+		r.mu.Unlock()
+		if !due {
+			return false, ecsopt.ClientSubnet{}
+		}
+		if r.isProbeString(q.Name) {
+			return true, r.probeSubnet(clientAddr, clientBits)
+		}
+		// Not the probe string: release the slot we just took.
+		r.mu.Lock()
+		if seen {
+			r.lastProbe[auth] = last
+		} else {
+			delete(r.lastProbe, auth)
+		}
+		r.mu.Unlock()
+		return false, ecsopt.ClientSubnet{}
+	case ProbeRandom:
+		r.mu.Lock()
+		chosen, ok := r.randNames[q.Name]
+		if !ok {
+			chosen = r.rng.Intn(2) == 0
+			r.randNames[q.Name] = chosen
+		}
+		frac := p.RandomECSFraction
+		if frac == 0 {
+			frac = 0.5
+		}
+		fire := chosen && r.rng.Float64() < frac
+		r.mu.Unlock()
+		if fire {
+			return true, r.buildSubnet(clientAddr, clientBits)
+		}
+		return false, ecsopt.ClientSubnet{}
+	}
+	return false, ecsopt.ClientSubnet{}
+}
+
+func (r *Resolver) interval() time.Duration {
+	if r.cfg.Profile.Interval == 0 {
+		return 30 * time.Minute
+	}
+	return r.cfg.Profile.Interval
+}
+
+// isProbeName reports whether name is in the profile's probe set (empty
+// set = all names).
+func (r *Resolver) isProbeName(name dnswire.Name) bool {
+	if len(r.cfg.Profile.ProbeNames) == 0 {
+		return true
+	}
+	for _, n := range r.cfg.Profile.ProbeNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isProbeString reports whether name is the single interval-probe query
+// string.
+func (r *Resolver) isProbeString(name dnswire.Name) bool {
+	if len(r.cfg.Profile.ProbeNames) == 0 {
+		return true
+	}
+	return r.cfg.Profile.ProbeNames[0] == name
+}
+
+// adaptedSubnet builds the client subnet, lowering the prefix to any
+// per-authority learned scope (AdaptSourceToScope).
+func (r *Resolver) adaptedSubnet(auth netip.Addr, clientAddr netip.Addr, bits int) ecsopt.ClientSubnet {
+	if r.cfg.Profile.AdaptSourceToScope {
+		r.mu.Lock()
+		learned, ok := r.adapted[auth]
+		r.mu.Unlock()
+		if ok && learned > 0 && learned < bits {
+			bits = learned
+		}
+	}
+	return r.buildSubnet(clientAddr, bits)
+}
+
+// buildSubnet constructs the ECS option for a client-derived prefix per
+// the profile's prefix policy.
+func (r *Resolver) buildSubnet(clientAddr netip.Addr, bits int) ecsopt.ClientSubnet {
+	p := r.cfg.Profile
+	if p.PrivatePrefixBug {
+		return ecsopt.MustNew(PrivateProbeAddr, 8)
+	}
+	jam := p.JamLastByte
+	if len(p.MixedV4Bits) > 0 && clientAddr.Is4() {
+		r.mu.Lock()
+		bits = p.MixedV4Bits[r.mixedIdx%len(p.MixedV4Bits)]
+		r.mixedIdx++
+		r.mu.Unlock()
+		jam = p.JamLastByte && bits == 32
+		if !jam {
+			cs, err := ecsopt.New(clientAddr, bits)
+			if err != nil {
+				return ecsopt.Zero()
+			}
+			return cs
+		}
+	}
+	if jam && clientAddr.Is4() {
+		a := ecsopt.MaskAddr(clientAddr, 24).As4()
+		a[3] = p.JamValue
+		return ecsopt.MustNew(netip.AddrFrom4(a), 32)
+	}
+	cs, err := ecsopt.New(clientAddr, bits)
+	if err != nil {
+		return ecsopt.Zero()
+	}
+	return cs
+}
+
+// probeSubnet constructs the option used by interval probes.
+func (r *Resolver) probeSubnet(clientAddr netip.Addr, bits int) ecsopt.ClientSubnet {
+	p := r.cfg.Profile
+	switch {
+	case p.ProbeWithLoopback:
+		return ecsopt.MustNew(LoopbackAddr, 32)
+	case p.ProbeWithOwnAddr:
+		return ecsopt.MustNew(r.cfg.Addr, 24)
+	default:
+		return r.buildSubnet(clientAddr, bits)
+	}
+}
+
+// answerFromEntry builds a client response from a cache entry, adjusting
+// TTLs to the remaining lifetime.
+func (r *Resolver) answerFromEntry(resp *dnswire.Message, e *ecscache.Entry, now time.Time, wantECS bool, clientAddr netip.Addr, clientBits int) {
+	remaining := e.RemainingTTL(now)
+	resp.RCode = e.RCode
+	resp.Answers = adjustTTL(e.Answer, remaining)
+	resp.Authorities = adjustTTL(e.Authority, remaining)
+	if wantECS {
+		resp.EDNS = dnswire.NewEDNS()
+		if e.HasECS {
+			echo, err := ecsopt.New(clientAddr, clientBits)
+			if err == nil {
+				ecsopt.Attach(resp, echo.WithScope(int(e.Subnet.ScopePrefix)))
+			}
+		}
+	}
+}
+
+func adjustTTL(rrs []dnswire.RR, ttl uint32) []dnswire.RR {
+	if len(rrs) == 0 {
+		return nil
+	}
+	out := make([]dnswire.RR, len(rrs))
+	for i, rr := range rrs {
+		rr.TTL = ttl
+		out[i] = rr
+	}
+	return out
+}
+
+// danglingCNAME returns the target of the last CNAME in answers that is
+// not itself answered by a record of the wanted type, if any.
+func danglingCNAME(answers []dnswire.RR, want dnswire.Type) (dnswire.Name, bool) {
+	if want == dnswire.TypeCNAME {
+		return "", false
+	}
+	answered := map[dnswire.Name]bool{}
+	for _, rr := range answers {
+		if rr.Type() == want {
+			answered[rr.Name] = true
+		}
+	}
+	for i := len(answers) - 1; i >= 0; i-- {
+		if cn, ok := answers[i].Data.(dnswire.CNAMERData); ok {
+			if !answered[cn.Target] {
+				return cn.Target, true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// retries returns the upstream retry budget.
+func (r *Resolver) retries() int {
+	if r.cfg.Retries == 0 {
+		return 2
+	}
+	if r.cfg.Retries < 0 {
+		return 0
+	}
+	return r.cfg.Retries
+}
+
+// negativeTTL derives the negative-caching lifetime from the SOA record
+// in an authority section (RFC 2308: min of SOA TTL and SOA minimum),
+// defaulting to 30 seconds when no SOA is present.
+func negativeTTL(authority []dnswire.RR) time.Duration {
+	for _, rr := range authority {
+		if soa, ok := rr.Data.(dnswire.SOARData); ok {
+			secs := soa.Minimum
+			if rr.TTL < secs {
+				secs = rr.TTL
+			}
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 30 * time.Second
+}
+
+func (r *Resolver) randUint16() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint16(r.rng.Intn(1 << 16))
+}
+
+// extractLenient pulls the ECS option out of a response without failing
+// on in-the-wild malformations.
+func extractLenient(m *dnswire.Message) (ecsopt.ClientSubnet, bool, error) {
+	if m.EDNS == nil {
+		return ecsopt.ClientSubnet{}, false, nil
+	}
+	opt, ok := m.EDNS.Option(dnswire.OptionCodeECS)
+	if !ok {
+		return ecsopt.ClientSubnet{}, false, nil
+	}
+	cs, err := ecsopt.DecodeLenient(opt)
+	if err != nil {
+		return ecsopt.ClientSubnet{}, true, err
+	}
+	return cs, true, nil
+}

@@ -1,0 +1,206 @@
+// Package scanner implements the paper's active measurement machinery:
+// the IPv4-scan probe with per-target hostname encoding (so the
+// experimental authoritative nameserver can associate ingress resolvers
+// with the egress resolvers they use), ECS-support detection, hidden-
+// resolver prefix discovery, and the two-query cache-behavior
+// methodology of §6.3 with its behavior classification.
+package scanner
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ecsdns/internal/authority"
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// EncodeProbeName embeds the probed ingress address into a hostname
+// under zone, following the technique of Dagon et al. the paper uses:
+// "p-1-2-3-4.<zone>".
+func EncodeProbeName(target netip.Addr, zone dnswire.Name) dnswire.Name {
+	a := target.As4()
+	label := fmt.Sprintf("p-%d-%d-%d-%d", a[0], a[1], a[2], a[3])
+	n, err := zone.Prepend(label)
+	if err != nil {
+		panic("scanner: bad probe zone: " + err.Error())
+	}
+	return n
+}
+
+// DecodeProbeName recovers the probed address from a probe hostname.
+func DecodeProbeName(name dnswire.Name) (netip.Addr, bool) {
+	labels := name.Labels()
+	if len(labels) == 0 {
+		return netip.Addr{}, false
+	}
+	l := labels[0]
+	if !strings.HasPrefix(l, "p-") {
+		return netip.Addr{}, false
+	}
+	parts := strings.Split(l[2:], "-")
+	if len(parts) != 4 {
+		return netip.Addr{}, false
+	}
+	var b [4]byte
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return netip.Addr{}, false
+		}
+		b[i] = byte(v)
+	}
+	return netip.AddrFrom4(b), true
+}
+
+// Combo is one (forwarder, hidden prefix, egress resolver) combination,
+// the unit of the §8.2 analysis.
+type Combo struct {
+	Forwarder    netip.Addr
+	HiddenPrefix netip.Prefix
+	Egress       netip.Addr
+}
+
+// Result is the outcome of a scan.
+type Result struct {
+	// Probed is how many ingress addresses were probed.
+	Probed int
+	// Responding are the open ingress resolvers that answered.
+	Responding []netip.Addr
+	// IngressToEgress maps each responding ingress to the egress
+	// resolver(s) observed at the authoritative server.
+	IngressToEgress map[netip.Addr][]netip.Addr
+	// ECSEgress is the set of egress resolvers whose queries carried
+	// ECS.
+	ECSEgress map[netip.Addr]bool
+	// EgressSourceBits records the source prefix lengths per ECS
+	// egress.
+	EgressSourceBits map[netip.Addr]map[uint8]bool
+	// HiddenCombos are combinations where the conveyed ECS prefix
+	// covers neither the probed ingress nor the egress — evidence of a
+	// hidden resolver.
+	HiddenCombos []Combo
+}
+
+// Scan drives probe queries against a population of ingress resolvers
+// and reads the experimental authority's logs to associate ingresses
+// with egresses. The Exchange closure decouples it from any specific
+// transport.
+type Scan struct {
+	// Exchange sends one DNS query and returns the response.
+	Exchange func(to netip.Addr, query *dnswire.Message) (*dnswire.Message, error)
+	// Zone is the scan zone served by the experimental authority.
+	Zone dnswire.Name
+	// ScannerAddr is the source of probe queries.
+	ScannerAddr netip.Addr
+}
+
+// Run probes every ingress with a hostname-encoded query (no ECS, per
+// the paper's methodology) and then interprets the authority log records
+// that arrived during the scan.
+func (s *Scan) Run(ingresses []netip.Addr, logs *LogBuffer) Result {
+	res := Result{
+		Probed:           len(ingresses),
+		IngressToEgress:  make(map[netip.Addr][]netip.Addr),
+		ECSEgress:        make(map[netip.Addr]bool),
+		EgressSourceBits: make(map[netip.Addr]map[uint8]bool),
+	}
+	mark := logs.Len()
+	var id uint16
+	for _, ing := range ingresses {
+		id++
+		q := dnswire.NewQuery(id, EncodeProbeName(ing, s.Zone), dnswire.TypeA)
+		resp, err := s.Exchange(ing, q)
+		if err != nil || resp == nil {
+			continue
+		}
+		if resp.RCode == dnswire.RCodeNoError && len(resp.Answers) > 0 {
+			res.Responding = append(res.Responding, ing)
+		}
+	}
+	sort.Slice(res.Responding, func(i, j int) bool {
+		return res.Responding[i].Less(res.Responding[j])
+	})
+
+	// Interpret the authoritative view.
+	for _, rec := range logs.Since(mark) {
+		ing, ok := DecodeProbeName(rec.Name)
+		if !ok {
+			continue
+		}
+		egress := rec.Resolver
+		if !containsAddr(res.IngressToEgress[ing], egress) {
+			res.IngressToEgress[ing] = append(res.IngressToEgress[ing], egress)
+		}
+		if !rec.QueryHasECS {
+			continue
+		}
+		res.ECSEgress[egress] = true
+		if res.EgressSourceBits[egress] == nil {
+			res.EgressSourceBits[egress] = make(map[uint8]bool)
+		}
+		res.EgressSourceBits[egress][rec.QueryECS.SourcePrefix] = true
+
+		// Hidden-resolver detection: the ECS prefix covers neither the
+		// ingress nor the egress.
+		cs := rec.QueryECS
+		bits := int(cs.SourcePrefix)
+		if bits > 24 {
+			bits = 24 // resolvers report hidden info at /24 granularity
+		}
+		if !cs.Covers(ing, bits) && !cs.Covers(egress, bits) && cs.IsRoutable() {
+			res.HiddenCombos = append(res.HiddenCombos, Combo{
+				Forwarder:    ing,
+				HiddenPrefix: netip.PrefixFrom(ecsopt.MaskAddr(cs.Addr, bits), bits),
+				Egress:       egress,
+			})
+		}
+	}
+	return res
+}
+
+func containsAddr(s []netip.Addr, a netip.Addr) bool {
+	for _, x := range s {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// LogBuffer is a concurrency-safe accumulator of authority log records,
+// installable as an authority.Server log sink.
+type LogBuffer struct {
+	mu   sync.Mutex
+	recs []authority.LogRecord
+}
+
+// Append implements the authority log callback.
+func (b *LogBuffer) Append(rec authority.LogRecord) {
+	b.mu.Lock()
+	b.recs = append(b.recs, rec)
+	b.mu.Unlock()
+}
+
+// Len returns the current record count (a position marker).
+func (b *LogBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recs)
+}
+
+// Since returns a copy of the records appended at or after mark.
+func (b *LogBuffer) Since(mark int) []authority.LogRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]authority.LogRecord, len(b.recs)-mark)
+	copy(out, b.recs[mark:])
+	return out
+}
+
+// All returns a copy of every record.
+func (b *LogBuffer) All() []authority.LogRecord { return b.Since(0) }

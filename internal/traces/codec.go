@@ -1,0 +1,142 @@
+package traces
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"time"
+
+	"ecsdns/internal/dnswire"
+)
+
+// The CSV codec makes generated datasets exportable and replayable —
+// the paper's datasets were "available on request"; ours are available
+// by construction. The column set mirrors Record exactly.
+
+var csvHeader = []string{
+	"time", "resolver", "client", "name", "type", "has_ecs", "source", "scope", "ttl",
+}
+
+// WriteRecords streams records as CSV with a header row.
+func WriteRecords(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, r := range recs {
+		row[0] = r.Time.UTC().Format(time.RFC3339Nano)
+		row[1] = addrString(r.Resolver)
+		row[2] = addrString(r.Client)
+		row[3] = string(r.Name)
+		row[4] = strconv.Itoa(int(r.Type))
+		row[5] = strconv.FormatBool(r.HasECS)
+		row[6] = strconv.Itoa(int(r.Source))
+		row[7] = strconv.Itoa(int(r.Scope))
+		row[8] = strconv.FormatUint(uint64(r.TTL), 10)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func addrString(a netip.Addr) string {
+	if !a.IsValid() {
+		return ""
+	}
+	return a.String()
+}
+
+// ReadRecords parses a CSV stream produced by WriteRecords.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("traces: reading header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("traces: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []Record
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("traces: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	var rec Record
+	t, err := time.Parse(time.RFC3339Nano, row[0])
+	if err != nil {
+		return rec, fmt.Errorf("bad time %q", row[0])
+	}
+	rec.Time = t
+	if row[1] != "" {
+		a, err := netip.ParseAddr(row[1])
+		if err != nil {
+			return rec, fmt.Errorf("bad resolver %q", row[1])
+		}
+		rec.Resolver = a
+	}
+	if row[2] != "" {
+		a, err := netip.ParseAddr(row[2])
+		if err != nil {
+			return rec, fmt.Errorf("bad client %q", row[2])
+		}
+		rec.Client = a
+	}
+	name, err := dnswire.ParseName(row[3])
+	if err != nil {
+		return rec, fmt.Errorf("bad name %q: %v", row[3], err)
+	}
+	rec.Name = name
+	for _, f := range []struct {
+		idx  int
+		dst  *uint8
+		name string
+	}{
+		{6, &rec.Source, "source"},
+		{7, &rec.Scope, "scope"},
+	} {
+		v, err := strconv.ParseUint(row[f.idx], 10, 8)
+		if err != nil {
+			return rec, fmt.Errorf("bad %s %q", f.name, row[f.idx])
+		}
+		*f.dst = uint8(v)
+	}
+	typ, err := strconv.ParseUint(row[4], 10, 16)
+	if err != nil {
+		return rec, fmt.Errorf("bad type %q", row[4])
+	}
+	rec.Type = dnswire.Type(typ)
+	hasECS, err := strconv.ParseBool(row[5])
+	if err != nil {
+		return rec, fmt.Errorf("bad has_ecs %q", row[5])
+	}
+	rec.HasECS = hasECS
+	ttl, err := strconv.ParseUint(row[8], 10, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad ttl %q", row[8])
+	}
+	rec.TTL = uint32(ttl)
+	return rec, nil
+}

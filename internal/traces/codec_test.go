@@ -1,0 +1,80 @@
+package traces
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultAllNames
+	cfg.Queries = 2000
+	tr := GenerateAllNames(cfg)
+
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, tr.Records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr.Records) {
+		t.Fatalf("records = %d, want %d", len(got), len(tr.Records))
+	}
+	for i := range got {
+		a, b := got[i], tr.Records[i]
+		if !a.Time.Equal(b.Time) {
+			t.Fatalf("record %d time %v != %v", i, a.Time, b.Time)
+		}
+		a.Time, b.Time = time.Time{}, time.Time{}
+		if a != b {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestCSVEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("records = %d", len(got))
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty input", ""},
+		{"wrong header", "a,b,c,d,e,f,g,h,i\n"},
+		{"bad time", header() + "not-a-time,1.1.1.1,2.2.2.2,x.example.,1,true,24,24,20\n"},
+		{"bad resolver", header() + ts() + ",nope,2.2.2.2,x.example.,1,true,24,24,20\n"},
+		{"bad client", header() + ts() + ",1.1.1.1,nope,x.example.,1,true,24,24,20\n"},
+		{"bad name", header() + ts() + ",1.1.1.1,2.2.2.2,..,1,true,24,24,20\n"},
+		{"bad type", header() + ts() + ",1.1.1.1,2.2.2.2,x.example.,zzz,true,24,24,20\n"},
+		{"bad bool", header() + ts() + ",1.1.1.1,2.2.2.2,x.example.,1,maybe,24,24,20\n"},
+		{"bad source", header() + ts() + ",1.1.1.1,2.2.2.2,x.example.,1,true,300,24,20\n"},
+		{"bad ttl", header() + ts() + ",1.1.1.1,2.2.2.2,x.example.,1,true,24,24,-1\n"},
+		{"short row", header() + ts() + ",1.1.1.1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadRecords(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func header() string {
+	return "time,resolver,client,name,type,has_ecs,source,scope,ttl\n"
+}
+
+func ts() string { return "2019-03-01T00:00:00Z" }

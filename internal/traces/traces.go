@@ -1,0 +1,290 @@
+// Package traces generates the synthetic counterparts of the paper's
+// four datasets: deterministic DNS query/response logs with the
+// distributional properties (client subnet diversity, Zipf hostname
+// popularity, TTL mix, ECS scopes) that drive the caching results of §7.
+// All generators are seeded and reproducible.
+package traces
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/stats"
+)
+
+// Record is one logged DNS interaction: the common schema shared by the
+// CDN-side and resolver-side datasets.
+type Record struct {
+	// Time is the query arrival time.
+	Time time.Time
+	// Resolver is the egress resolver the query came from (CDN-side
+	// view) or the resolver that served it (resolver-side view).
+	Resolver netip.Addr
+	// Client is the end-client address carried in or implied by ECS.
+	Client netip.Addr
+	// Name and Type are the question.
+	Name dnswire.Name
+	Type dnswire.Type
+	// HasECS marks ECS interactions; Source and Scope are the query
+	// source prefix and response scope prefix lengths.
+	HasECS bool
+	Source uint8
+	Scope  uint8
+	// TTL is the response TTL in seconds.
+	TTL uint32
+}
+
+// ResolverTrace groups a trace by egress resolver.
+type ResolverTrace struct {
+	Resolver netip.Addr
+	Records  []Record
+}
+
+// PublicCDNConfig parameterizes the Public Resolver/CDN dataset
+// generator (3 h of a public resolution service's ECS traffic to a major
+// CDN; TTL 20 s; every interaction carries ECS with non-zero scope).
+type PublicCDNConfig struct {
+	Seed int64
+	// Resolvers is the number of egress resolver IPs (paper: 2370).
+	Resolvers int
+	// Duration of the window (paper: 3 h).
+	Duration time.Duration
+	// TTL of every CDN answer (paper: 20 s). The fig1 sweep overrides
+	// the replay TTL, not this.
+	TTL time.Duration
+	// Hostnames is the size of the shared CDN hostname catalog.
+	Hostnames int
+	// MeanQPS is the mean per-resolver query rate; actual rates are
+	// heterogeneous around it.
+	MeanQPS float64
+	// MaxSubnets bounds a resolver's client subnet pool; heterogeneous
+	// per resolver (this heterogeneity is what spreads the blow-up CDF).
+	MaxSubnets int
+}
+
+// DefaultPublicCDN is sized to run fig1 in seconds while preserving the
+// paper's distributional shape. The paper's egress resolvers are busy
+// (the dataset is 3.8B queries over 3 h across 2370 resolvers, ≈150 qps
+// each); the default keeps comparable per-name query density over a
+// compressed window.
+var DefaultPublicCDN = PublicCDNConfig{
+	Seed:       1,
+	Resolvers:  300,
+	Duration:   3 * time.Minute,
+	TTL:        20 * time.Second,
+	Hostnames:  180,
+	MeanQPS:    60,
+	MaxSubnets: 4096,
+}
+
+// GeneratePublicCDN produces one trace per egress resolver.
+func GeneratePublicCDN(cfg PublicCDNConfig) []ResolverTrace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	// Shared CDN hostname catalog with Zipf popularity.
+	names := make([]dnswire.Name, cfg.Hostnames)
+	for i := range names {
+		names[i] = dnswire.Name(fmt.Sprintf("h%04d.cdn.example.net.", i))
+	}
+	nameSampler := stats.NewSampler(stats.Zipf(len(names), 0.9))
+
+	out := make([]ResolverTrace, 0, cfg.Resolvers)
+	for r := 0; r < cfg.Resolvers; r++ {
+		resolver := netip.AddrFrom4([4]byte{11, byte(r >> 8), byte(r), 53})
+		// Heterogeneous resolver size: volume and client diversity are
+		// log-uniform so the CDF of blow-up factors has a long tail.
+		sizeFactor := skewRand(rng) // most small, few huge
+		qps := cfg.MeanQPS * (0.2 + sizeFactor*2.0)
+		nSubnets := 2 + int(sizeFactor*float64(cfg.MaxSubnets)/4)
+		if nSubnets > cfg.MaxSubnets {
+			nSubnets = cfg.MaxSubnets
+		}
+		subnets := make([]netip.Addr, nSubnets)
+		for i := range subnets {
+			subnets[i] = netip.AddrFrom4([4]byte{
+				byte(12 + rng.Intn(80)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0,
+			})
+		}
+		n := int(qps * cfg.Duration.Seconds())
+		if n < 10 {
+			n = 10
+		}
+		recs := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			at := start.Add(time.Duration(rng.Float64() * float64(cfg.Duration)))
+			name := names[nameSampler.Draw(rng)]
+			sub := subnets[rng.Intn(len(subnets))]
+			recs = append(recs, Record{
+				Time:     at,
+				Resolver: resolver,
+				Client:   sub,
+				Name:     name,
+				Type:     dnswire.TypeA,
+				HasECS:   true,
+				Source:   24,
+				Scope:    24,
+				TTL:      uint32(cfg.TTL / time.Second),
+			})
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+		out = append(out, ResolverTrace{Resolver: resolver, Records: recs})
+	}
+	return out
+}
+
+// skewRand draws from a right-skewed distribution on (0,1]: many small
+// values, few near 1 — the shape of resolver fleet sizes.
+func skewRand(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	return u * u * u
+}
+
+// AllNamesConfig parameterizes the All-Names Resolver dataset generator
+// (24 h of one busy anycast egress resolver; all interactions carry ECS
+// with non-zero scope; client addresses are known exactly).
+type AllNamesConfig struct {
+	Seed int64
+	// Clients is the number of distinct client addresses (paper:
+	// 76.2K).
+	Clients int
+	// SubnetsV4 and SubnetsV6 are the /24 and /48 pools clients draw
+	// from (paper: 12.3K and 2.8K).
+	SubnetsV4 int
+	SubnetsV6 int
+	// V6Fraction is the share of IPv6 clients (paper: ≈0.51).
+	V6Fraction float64
+	// Hostnames and SLDs shape the name space (paper: 134925 and
+	// 19014).
+	Hostnames int
+	SLDs      int
+	// Queries is the total number of A/AAAA interactions (paper:
+	// 11.1M).
+	Queries int
+	// Duration of the window (paper: 24 h).
+	Duration time.Duration
+	// ZipfS is the hostname popularity exponent.
+	ZipfS float64
+}
+
+// DefaultAllNames is a ~1/40 scale model of the paper's dataset. The
+// window is compressed by the same factor as the query volume (24 h →
+// 36 min) so the per-name query density — which is what determines hit
+// rates against real TTLs — matches the original ≈128 qps resolver.
+var DefaultAllNames = AllNamesConfig{
+	Seed:       1,
+	Clients:    2000,
+	SubnetsV4:  320,
+	SubnetsV6:  72,
+	V6Fraction: 0.5,
+	Hostnames:  3400,
+	SLDs:       480,
+	Queries:    280000,
+	Duration:   36 * time.Minute,
+	ZipfS:      1.0,
+}
+
+// AllNamesTrace is the generated single-resolver trace plus the client
+// population (needed by the client-sampling sweeps of Figures 2 and 3).
+type AllNamesTrace struct {
+	Resolver netip.Addr
+	Clients  []netip.Addr
+	Records  []Record
+}
+
+// GenerateAllNames produces the single-resolver all-names trace.
+func GenerateAllNames(cfg AllNamesConfig) *AllNamesTrace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Date(2019, 3, 27, 9, 0, 0, 0, time.UTC)
+	resolver := netip.MustParseAddr("11.200.0.53")
+
+	// Subnet pools.
+	subsV4 := make([]netip.Addr, cfg.SubnetsV4)
+	for i := range subsV4 {
+		subsV4[i] = netip.AddrFrom4([4]byte{byte(13 + rng.Intn(60)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+	}
+	subsV6 := make([]netip.Addr, cfg.SubnetsV6)
+	for i := range subsV6 {
+		var a [16]byte
+		a[0], a[1] = 0x20, 0x01
+		a[2], a[3] = byte(rng.Intn(256)), byte(rng.Intn(256))
+		a[4], a[5] = byte(rng.Intn(256)), byte(rng.Intn(256))
+		subsV6[i] = netip.AddrFrom16(a)
+	}
+
+	// Clients drawn from the pools (subnets hold multiple clients).
+	clients := make([]netip.Addr, cfg.Clients)
+	for i := range clients {
+		if rng.Float64() < cfg.V6Fraction && len(subsV6) > 0 {
+			base := subsV6[rng.Intn(len(subsV6))].As16()
+			base[15] = byte(1 + rng.Intn(254))
+			base[14] = byte(rng.Intn(256))
+			clients[i] = netip.AddrFrom16(base)
+		} else {
+			base := subsV4[rng.Intn(len(subsV4))].As4()
+			base[3] = byte(1 + rng.Intn(254))
+			clients[i] = netip.AddrFrom4(base)
+		}
+	}
+
+	// Hostnames grouped under SLDs; per-SLD TTL and scope behavior.
+	type sldInfo struct {
+		ttl   uint32
+		scope uint8
+	}
+	slds := make([]sldInfo, cfg.SLDs)
+	for i := range slds {
+		slds[i] = sldInfo{
+			ttl:   []uint32{20, 30, 60, 120, 300}[stats.WeightedChoice(rng, []float64{0.35, 0.2, 0.25, 0.1, 0.1})],
+			scope: []uint8{24, 22, 20, 16}[stats.WeightedChoice(rng, []float64{0.7, 0.1, 0.1, 0.1})],
+		}
+	}
+	type hostInfo struct {
+		name dnswire.Name
+		sld  int
+	}
+	hosts := make([]hostInfo, cfg.Hostnames)
+	for i := range hosts {
+		s := rng.Intn(cfg.SLDs)
+		hosts[i] = hostInfo{
+			name: dnswire.Name(fmt.Sprintf("w%05d.sld%04d.example.", i, s)),
+			sld:  s,
+		}
+	}
+	hostSampler := stats.NewSampler(stats.Zipf(len(hosts), cfg.ZipfS))
+	// Clients are not equally active.
+	clientSampler := stats.NewSampler(stats.Zipf(len(clients), 0.6))
+
+	recs := make([]Record, cfg.Queries)
+	for i := range recs {
+		at := start.Add(time.Duration(rng.Float64() * float64(cfg.Duration)))
+		h := hosts[hostSampler.Draw(rng)]
+		cl := clients[clientSampler.Draw(rng)]
+		info := slds[h.sld]
+		qt := dnswire.TypeA
+		src := uint8(24)
+		scope := info.scope
+		if cl.Is6() && !cl.Is4In6() {
+			qt = dnswire.TypeAAAA
+			src = 56
+			scope = info.scope * 2
+		}
+		recs[i] = Record{
+			Time:     at,
+			Resolver: resolver,
+			Client:   cl,
+			Name:     h.name,
+			Type:     qt,
+			HasECS:   true,
+			Source:   src,
+			Scope:    scope,
+			TTL:      info.ttl,
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+	return &AllNamesTrace{Resolver: resolver, Clients: clients, Records: recs}
+}

@@ -1,0 +1,173 @@
+package traces
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/dnswire"
+)
+
+func TestPublicCDNShape(t *testing.T) {
+	cfg := DefaultPublicCDN
+	cfg.Resolvers = 20
+	cfg.Duration = 10 * time.Minute
+	trs := GeneratePublicCDN(cfg)
+	if len(trs) != 20 {
+		t.Fatalf("resolvers = %d", len(trs))
+	}
+	seen := map[netip.Addr]bool{}
+	for _, tr := range trs {
+		if seen[tr.Resolver] {
+			t.Fatalf("duplicate resolver %s", tr.Resolver)
+		}
+		seen[tr.Resolver] = true
+		if len(tr.Records) == 0 {
+			t.Fatal("empty resolver trace")
+		}
+		last := time.Time{}
+		for _, r := range tr.Records {
+			if r.Time.Before(last) {
+				t.Fatal("records not time-sorted")
+			}
+			last = r.Time
+			if !r.HasECS || r.Source != 24 || r.Scope != 24 {
+				t.Fatalf("CDN record not ECS/24: %+v", r)
+			}
+			if r.TTL != 20 {
+				t.Fatalf("TTL = %d, want 20", r.TTL)
+			}
+			if r.Resolver != tr.Resolver {
+				t.Fatal("record resolver mismatch")
+			}
+			if r.Type != dnswire.TypeA {
+				t.Fatal("CDN record not A")
+			}
+		}
+	}
+}
+
+func TestPublicCDNDeterministic(t *testing.T) {
+	cfg := DefaultPublicCDN
+	cfg.Resolvers = 5
+	cfg.Duration = 5 * time.Minute
+	a := GeneratePublicCDN(cfg)
+	b := GeneratePublicCDN(cfg)
+	for i := range a {
+		if len(a[i].Records) != len(b[i].Records) {
+			t.Fatalf("resolver %d record counts differ", i)
+		}
+		for j := range a[i].Records {
+			if a[i].Records[j] != b[i].Records[j] {
+				t.Fatalf("record %d/%d differs", i, j)
+			}
+		}
+	}
+	cfg.Seed = 99
+	c := GeneratePublicCDN(cfg)
+	diff := false
+	for j := range a[0].Records {
+		if j < len(c[0].Records) && a[0].Records[j] != c[0].Records[j] {
+			diff = true
+			break
+		}
+	}
+	if !diff && len(a[0].Records) == len(c[0].Records) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestPublicCDNHeterogeneity(t *testing.T) {
+	cfg := DefaultPublicCDN
+	cfg.Resolvers = 100
+	cfg.Duration = 10 * time.Minute
+	trs := GeneratePublicCDN(cfg)
+	min, max := -1, 0
+	for _, tr := range trs {
+		n := len(tr.Records)
+		if min < 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max < min*3 {
+		t.Fatalf("resolver sizes too homogeneous: min=%d max=%d", min, max)
+	}
+}
+
+func TestAllNamesShape(t *testing.T) {
+	cfg := DefaultAllNames
+	cfg.Queries = 20000
+	cfg.Clients = 400
+	tr := GenerateAllNames(cfg)
+	if len(tr.Records) != 20000 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+	if len(tr.Clients) != 400 {
+		t.Fatalf("clients = %d", len(tr.Clients))
+	}
+	v4, v6 := 0, 0
+	names := map[dnswire.Name]bool{}
+	last := time.Time{}
+	for _, r := range tr.Records {
+		if r.Time.Before(last) {
+			t.Fatal("records not sorted")
+		}
+		last = r.Time
+		if !r.HasECS || r.Scope == 0 {
+			t.Fatalf("all-names record without ECS scope: %+v", r)
+		}
+		names[r.Name] = true
+		if r.Client.Is4() {
+			v4++
+			if r.Type != dnswire.TypeA || r.Source != 24 {
+				t.Fatalf("v4 record wrong: %+v", r)
+			}
+		} else {
+			v6++
+			if r.Type != dnswire.TypeAAAA || r.Source != 56 {
+				t.Fatalf("v6 record wrong: %+v", r)
+			}
+		}
+	}
+	if v4 == 0 || v6 == 0 {
+		t.Fatalf("family mix degenerate: v4=%d v6=%d", v4, v6)
+	}
+	if len(names) < 100 {
+		t.Fatalf("only %d distinct names", len(names))
+	}
+}
+
+func TestAllNamesZipfSkew(t *testing.T) {
+	cfg := DefaultAllNames
+	cfg.Queries = 50000
+	tr := GenerateAllNames(cfg)
+	counts := map[dnswire.Name]int{}
+	for _, r := range tr.Records {
+		counts[r.Name]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(cfg.Queries) / float64(len(counts))
+	if float64(max) < 10*mean {
+		t.Fatalf("popularity not skewed: max=%d mean=%.1f", max, mean)
+	}
+}
+
+func TestAllNamesDeterministic(t *testing.T) {
+	cfg := DefaultAllNames
+	cfg.Queries = 5000
+	a := GenerateAllNames(cfg)
+	b := GenerateAllNames(cfg)
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+}
