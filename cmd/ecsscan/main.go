@@ -1,43 +1,160 @@
-// Command ecsscan probes a DNS resolver over real sockets for its ECS
-// behavior, a single-target version of the paper's §6.3 methodology: it
-// checks EDNS/ECS support, whether client-supplied prefixes are
-// accepted or overridden, which source prefix lengths come back, and —
-// when pointed at a cooperating authority like cmd/authdns — whether
-// the resolver honors ECS scopes in its cache.
+// Command ecsscan probes DNS resolvers over real sockets for their ECS
+// behavior. Pointed at a single resolver (the default), it runs the
+// paper's §6.3 methodology: it checks EDNS/ECS support, whether
+// client-supplied prefixes are accepted or overridden, which source
+// prefix lengths come back, and — when pointed at a cooperating
+// authority like cmd/authdns — whether the resolver honors ECS scopes in
+// its cache.
+//
+// With -targets it instead runs a bulk availability sweep over many
+// resolvers through the concurrent scan engine: a pipelined UDP
+// transport multiplexes queries over shared sockets, a worker pool keeps
+// -concurrency probes in flight, and -rate caps the aggregate query
+// rate.
 //
 // Usage:
 //
 //	ecsscan [-resolver 127.0.0.1:5301] [-name test.scan.example.org] \
-//	        [-prefix 198.51.100.0/24]
+//	        [-prefix 198.51.100.0/24] [-timeout 3s]
+//	ecsscan -targets targets.txt [-concurrency 64] [-rate 1000] [-timeout 3s]
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/netip"
 	"os"
+	"strings"
+	"time"
 
 	"ecsdns/internal/dnsclient"
 	"ecsdns/internal/dnswire"
 	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/scanner"
 )
 
 func main() {
 	target := flag.String("resolver", "127.0.0.1:5301", "resolver to probe (host:port)")
 	nameStr := flag.String("name", "test.scan.example.org", "base hostname to query (unique labels are prepended per trial)")
 	prefixStr := flag.String("prefix", "198.51.100.0/24", "client subnet to inject")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-attempt query timeout")
+	targetsArg := flag.String("targets", "", "bulk mode: file of resolver host:port lines (or a comma-separated list)")
+	concurrency := flag.Int("concurrency", 64, "bulk mode: probes in flight")
+	rate := flag.Float64("rate", 0, "bulk mode: max queries/sec (0 = unlimited)")
 	flag.Parse()
 
 	base, err := dnswire.ParseName(*nameStr)
 	if err != nil {
 		log.Fatalf("ecsscan: bad name: %v", err)
 	}
+
+	if *targetsArg != "" {
+		bulkScan(*targetsArg, base, *concurrency, *rate, *timeout)
+		return
+	}
+
 	prefix, err := netip.ParsePrefix(*prefixStr)
 	if err != nil {
 		log.Fatalf("ecsscan: bad prefix: %v", err)
 	}
-	client := &dnsclient.Client{}
+	singleProbe(*target, base, prefix, *timeout)
+}
+
+// loadTargets reads host:port targets from a file (one per line, #
+// comments allowed) or from a comma-separated literal list.
+func loadTargets(arg string) []string {
+	var raw []string
+	if f, err := os.Open(arg); err == nil {
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			raw = append(raw, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatalf("ecsscan: reading %s: %v", arg, err)
+		}
+	} else if strings.ContainsAny(arg, "/\\") {
+		// A path that does not open is a typo, not a hostname list.
+		log.Fatalf("ecsscan: %v", err)
+	} else {
+		raw = strings.Split(arg, ",")
+	}
+	var targets []string
+	for _, line := range raw {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, ":") {
+			line += ":53"
+		}
+		targets = append(targets, line)
+	}
+	if len(targets) == 0 {
+		log.Fatal("ecsscan: no targets")
+	}
+	return targets
+}
+
+// bulkScan sweeps many resolvers concurrently through the pipelined
+// transport and prints one availability line per target plus a
+// throughput summary.
+func bulkScan(targetsArg string, base dnswire.Name, concurrency int, rate float64, timeout time.Duration) {
+	targets := loadTargets(targetsArg)
+	sockets := 4
+	if concurrency > 64 {
+		sockets = 8
+	}
+	pipe, err := dnsclient.NewPipeline(dnsclient.PipelineConfig{
+		Sockets: sockets,
+		Timeout: timeout,
+	})
+	if err != nil {
+		log.Fatalf("ecsscan: pipeline: %v", err)
+	}
+	defer pipe.Close()
+
+	prog := scanner.NewProgress()
+	eng := &scanner.Engine{Concurrency: concurrency, Rate: rate, Progress: prog}
+	results := make([]string, len(targets))
+	err = eng.Run(context.Background(), len(targets), func(ctx context.Context, i int) error {
+		name, err := base.Prepend(fmt.Sprintf("bulk%d", i))
+		if err != nil {
+			results[i] = fmt.Sprintf("%-24s bad probe name: %v", targets[i], err)
+			return err
+		}
+		q := dnswire.NewQuery(0, name, dnswire.TypeA) // the pipeline owns IDs
+		q.EDNS = dnswire.NewEDNS()
+		start := time.Now()
+		resp, err := pipe.Exchange(ctx, targets[i], q)
+		if err != nil {
+			results[i] = fmt.Sprintf("%-24s unreachable: %v", targets[i], err)
+			return err
+		}
+		results[i] = fmt.Sprintf("%-24s rcode=%s answers=%d edns=%v rtt=%s",
+			targets[i], resp.RCode, len(resp.Answers), resp.EDNS != nil,
+			time.Since(start).Round(time.Millisecond))
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("ecsscan: %v", err)
+	}
+	for _, line := range results {
+		fmt.Println(line)
+	}
+	s := prog.Snapshot()
+	st := pipe.Stats()
+	fmt.Printf("\n%d targets: %d responding, %d unreachable in %s (%.0f q/s; %d udp sent, %d retries, %d tcp fallbacks)\n",
+		len(targets), s.Done, s.Errors, s.Elapsed.Round(time.Millisecond), s.QPS,
+		st.Sent, st.Retries, st.TCPFallbacks)
+}
+
+// singleProbe is the original single-target §6.3 trial sequence.
+func singleProbe(target string, base dnswire.Name, prefix netip.Prefix, timeout time.Duration) {
+	client := &dnsclient.Client{Timeout: timeout}
 	trial := 0
 	uniq := func() dnswire.Name {
 		trial++
@@ -50,7 +167,7 @@ func main() {
 
 	// Trial 1: plain query — is the resolver answering at all?
 	name := uniq()
-	resp, err := client.Query(*target, name, dnswire.TypeA, nil)
+	resp, err := client.Query(target, name, dnswire.TypeA, nil)
 	if err != nil {
 		log.Fatalf("ecsscan: resolver unreachable: %v", err)
 	}
@@ -60,7 +177,7 @@ func main() {
 	// Trial 2: ECS query — does an option come back, and at what scope?
 	cs := ecsopt.MustNew(prefix.Addr(), prefix.Bits())
 	name = uniq()
-	resp, err = client.Query(*target, name, dnswire.TypeA, &cs)
+	resp, err = client.Query(target, name, dnswire.TypeA, &cs)
 	if err != nil {
 		log.Fatalf("ecsscan: ECS query failed: %v", err)
 	}
@@ -87,7 +204,7 @@ func main() {
 	sibling := prefix.Addr().As4()
 	sibling[2] ^= 0x01
 	cs2 := ecsopt.MustNew(netip.AddrFrom4(sibling), prefix.Bits())
-	resp, err = client.Query(*target, name, dnswire.TypeA, &cs2)
+	resp, err = client.Query(target, name, dnswire.TypeA, &cs2)
 	if err != nil {
 		log.Fatalf("ecsscan: second ECS query failed: %v", err)
 	}

@@ -3,11 +3,21 @@
 // the egress resolvers they use, detect ECS support and hidden
 // resolvers, then the two-query methodology classifies each reachable
 // resolver's caching behavior (§6.3).
+//
+// The probe phase runs through the concurrent scan engine; -concurrency,
+// -rate, and -timeout expose its knobs. The in-memory netem fabric is
+// not safe for concurrent handler execution, so the transport itself is
+// serialized behind a mutex here — against real sockets (cmd/ecsscan
+// -targets) the same engine fans out for real.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"net/netip"
+	"sync"
+	"time"
 
 	"ecsdns/internal/authority"
 	"ecsdns/internal/dnswire"
@@ -19,6 +29,10 @@ import (
 )
 
 func main() {
+	concurrency := flag.Int("concurrency", 8, "probes in flight during the scan phase")
+	rate := flag.Float64("rate", 0, "max probe queries/sec (0 = unlimited)")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-probe timeout")
+	flag.Parse()
 	world := geo.Build(geo.DefaultConfig)
 	net := netem.New(world)
 	logs := &scanner.LogBuffer{}
@@ -81,16 +95,27 @@ func main() {
 		ingresses = append(ingresses, fwd)
 	}
 
-	// Phase 1: the scan.
+	// Phase 1: the scan, fanned out over the worker-pool engine. The
+	// mutex serializes netem (see the package comment); everything above
+	// the transport — worker pool, rate limiting, ID allocation,
+	// response validation — runs concurrently.
+	var netMu sync.Mutex
+	prog := scanner.NewProgress()
 	scan := &scanner.Scan{
-		Exchange: func(to netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+		ExchangeCtx: func(_ context.Context, to netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+			netMu.Lock()
+			defer netMu.Unlock()
 			resp, _, err := net.Exchange(scannerAddr, to, q)
 			return resp, err
 		},
 		Zone: zone, ScannerAddr: scannerAddr,
+		Concurrency: *concurrency, Rate: *rate, Timeout: *timeout,
+		Progress: prog,
 	}
 	res := scan.Run(ingresses, logs)
-	fmt.Printf("probed %d ingresses, %d responded\n", res.Probed, len(res.Responding))
+	snap := prog.Snapshot()
+	fmt.Printf("probed %d ingresses, %d responded (%.0f probes/s wall-clock)\n",
+		res.Probed, len(res.Responding), snap.QPS)
 	for ing, egs := range res.IngressToEgress {
 		for _, eg := range egs {
 			fmt.Printf("  ingress %-15s → egress %-15s (%s) ECS=%v\n",

@@ -18,12 +18,18 @@ import (
 	"ecsdns/internal/ecsopt"
 )
 
+// NoRetries disables UDP retries when assigned to Client.Retries or
+// PipelineConfig.Retries. Any negative value works; the zero value keeps
+// the default of 2.
+const NoRetries = -1
+
 // Client issues DNS queries. The zero value is usable.
 type Client struct {
 	// Timeout bounds each network attempt (default 3 s).
 	Timeout time.Duration
-	// Retries is the number of additional UDP attempts after the first
-	// (default 2).
+	// Retries is the number of additional UDP attempts after the first.
+	// 0 means the default of 2; NoRetries (or any negative value)
+	// disables retries.
 	Retries int
 	// UDPSize is the advertised EDNS0 buffer (default 4096; 0 keeps the
 	// query EDNS-less unless it already has an OPT).
@@ -49,10 +55,14 @@ func (c *Client) timeout() time.Duration {
 }
 
 func (c *Client) retries() int {
-	if c.Retries == 0 {
+	switch {
+	case c.Retries < 0:
+		return 0
+	case c.Retries == 0:
 		return 2
+	default:
+		return c.Retries
 	}
-	return c.Retries
 }
 
 func (c *Client) randID() uint16 {
@@ -82,11 +92,9 @@ func (c *Client) Query(server string, name dnswire.Name, t dnswire.Type, ecs *ec
 
 // Exchange sends q to server and returns the validated response,
 // retrying over UDP and falling back to TCP when the response is
-// truncated.
+// truncated. q is sent exactly as given — including an ID of 0, which is
+// a legitimate transaction ID; use Query for automatic ID assignment.
 func (c *Client) Exchange(server string, q *dnswire.Message) (*dnswire.Message, error) {
-	if q.ID == 0 {
-		q.ID = c.randID()
-	}
 	data, err := q.Pack()
 	if err != nil {
 		return nil, err
@@ -141,6 +149,23 @@ func (c *Client) exchangeTCP(server string, q *dnswire.Message, data []byte) (*d
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(c.timeout()))
+	resp, err := tcpRoundTrip(conn, data)
+	if err != nil {
+		return nil, err
+	}
+	m, err := dnswire.Unpack(resp)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(q, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// tcpRoundTrip writes one length-prefixed DNS message over conn and reads
+// one framed response. The caller owns connection deadlines.
+func tcpRoundTrip(conn net.Conn, data []byte) ([]byte, error) {
 	out := make([]byte, 2+len(data))
 	binary.BigEndian.PutUint16(out, uint16(len(data)))
 	copy(out[2:], data)
@@ -155,14 +180,7 @@ func (c *Client) exchangeTCP(server string, q *dnswire.Message, data []byte) (*d
 	if _, err := io.ReadFull(conn, resp); err != nil {
 		return nil, err
 	}
-	m, err := dnswire.Unpack(resp)
-	if err != nil {
-		return nil, err
-	}
-	if err := validate(q, m); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return resp, nil
 }
 
 func validate(q, resp *dnswire.Message) error {

@@ -1,7 +1,9 @@
 package dnsclient
 
 import (
+	"net"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -150,7 +152,9 @@ func TestExchangeUnreachable(t *testing.T) {
 	}
 }
 
-func TestExchangeAssignsID(t *testing.T) {
+func TestExchangePreservesZeroID(t *testing.T) {
+	// ID 0 is a legitimate transaction ID: Exchange must send it as-is
+	// and accept the matching response, not conflate it with "unset".
 	addr := startEchoServer(t)
 	c := &Client{Timeout: 2 * time.Second}
 	q := dnswire.NewQuery(0, "www.cli.test.", dnswire.TypeA)
@@ -159,10 +163,63 @@ func TestExchangeAssignsID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.ID == 0 {
-		t.Fatal("zero transaction ID not replaced")
+	if q.ID != 0 {
+		t.Fatalf("zero transaction ID rewritten to %d", q.ID)
 	}
-	if resp.ID != q.ID {
-		t.Fatal("response ID mismatch")
+	if resp.ID != 0 {
+		t.Fatalf("response ID = %d, want 0", resp.ID)
+	}
+}
+
+func TestRetriesSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		set  int
+		want int
+	}{
+		{0, 2},         // zero value keeps the default
+		{NoRetries, 0}, // explicit opt-out
+		{-7, 0},        // any negative disables
+		{5, 5},
+	} {
+		if got := (&Client{Retries: tc.set}).retries(); got != tc.want {
+			t.Errorf("Retries=%d: retries() = %d, want %d", tc.set, got, tc.want)
+		}
+	}
+}
+
+// TestUDPAttemptCounts verifies retry semantics on the wire: a silent
+// server sees exactly 1 + retries() datagrams before the TCP fallback.
+func TestUDPAttemptCounts(t *testing.T) {
+	for _, tc := range []struct {
+		retries int
+		want    int32
+	}{
+		{NoRetries, 1},
+		{0, 3}, // default: first attempt + 2 retries
+	} {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var count atomic.Int32
+		go func() {
+			buf := make([]byte, 2048)
+			for {
+				if _, _, err := pc.ReadFrom(buf); err != nil {
+					return
+				}
+				count.Add(1)
+			}
+		}()
+		c := &Client{Timeout: 100 * time.Millisecond, Retries: tc.retries}
+		// The UDP attempts time out; the TCP fallback then fails fast
+		// (nothing listens on the TCP port).
+		if _, err := c.Query(pc.LocalAddr().String(), "x.cli.test.", dnswire.TypeA, nil); err == nil {
+			t.Fatalf("Retries=%d: silent server answered", tc.retries)
+		}
+		if got := count.Load(); got != tc.want {
+			t.Errorf("Retries=%d: %d UDP attempts, want %d", tc.retries, got, tc.want)
+		}
+		pc.Close()
 	}
 }

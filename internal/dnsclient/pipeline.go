@@ -1,0 +1,335 @@
+package dnsclient
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecsdns/internal/dnswire"
+)
+
+// Pipeline errors.
+var (
+	ErrPipelineClosed = errors.New("dnsclient: pipeline closed")
+	ErrTimeout        = errors.New("dnsclient: query timed out")
+)
+
+// PipelineConfig tunes a Pipeline. The zero value is usable.
+type PipelineConfig struct {
+	// Sockets is the number of shared UDP sockets (default 4).
+	Sockets int
+	// Timeout bounds each UDP attempt and the TCP fallback (default 3 s).
+	Timeout time.Duration
+	// Retries is the number of additional UDP attempts after the first.
+	// 0 means the default of 2; NoRetries disables retries.
+	Retries int
+	// Backoff is the wait before the first retry, doubling per attempt
+	// (default 100 ms).
+	Backoff time.Duration
+	// NoTCPFallback keeps truncated or timed-out queries on UDP: a
+	// truncated response is returned as-is and exhausted retries surface
+	// the last UDP error.
+	NoTCPFallback bool
+}
+
+// PipelineStats is a snapshot of a Pipeline's counters.
+type PipelineStats struct {
+	// Sent counts UDP datagrams written (one per attempt).
+	Sent int64
+	// Received counts demuxed responses delivered to waiters.
+	Received int64
+	// Retries counts UDP re-attempts.
+	Retries int64
+	// TCPFallbacks counts queries that moved to TCP.
+	TCPFallbacks int64
+	// Mismatched counts datagrams that matched no in-flight query
+	// (late, spoofed, or malformed).
+	Mismatched int64
+}
+
+// pendingKey identifies one in-flight query: responses are demuxed by
+// source address, transaction ID, and echoed question.
+type pendingKey struct {
+	dest string
+	id   uint16
+	q    dnswire.Question
+}
+
+// Pipeline is the high-throughput counterpart of Client: instead of
+// dialing a fresh socket per attempt, it multiplexes many in-flight
+// queries over a small set of shared unconnected UDP sockets, demuxing
+// responses by (destination, ID, question) with per-query deadlines,
+// retry-with-backoff, and TCP fallback. All methods are safe for
+// concurrent use.
+type Pipeline struct {
+	cfg   PipelineConfig
+	conns []net.PacketConn
+	next  atomic.Uint64 // round-robin socket cursor
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	pending map[pendingKey]chan *dnswire.Message
+	closed  bool
+
+	readers sync.WaitGroup
+
+	sent, received, retried, tcpFalls, mismatched atomic.Int64
+}
+
+// NewPipeline opens the shared sockets and starts their reader loops.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Sockets <= 0 {
+		cfg.Sockets = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 3 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		pending: make(map[pendingKey]chan *dnswire.Message),
+	}
+	for i := 0; i < cfg.Sockets; i++ {
+		pc, err := net.ListenPacket("udp", ":0")
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("dnsclient: pipeline socket: %w", err)
+		}
+		p.conns = append(p.conns, pc)
+		p.readers.Add(1)
+		go p.readLoop(pc)
+	}
+	return p, nil
+}
+
+// Close shuts the sockets and waits for the reader loops. Queries still
+// in flight fail with their per-attempt timeout.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, pc := range p.conns {
+		pc.Close()
+	}
+	p.readers.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the pipeline counters.
+func (p *Pipeline) Stats() PipelineStats {
+	return PipelineStats{
+		Sent:         p.sent.Load(),
+		Received:     p.received.Load(),
+		Retries:      p.retried.Load(),
+		TCPFallbacks: p.tcpFalls.Load(),
+		Mismatched:   p.mismatched.Load(),
+	}
+}
+
+func (p *Pipeline) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+func (p *Pipeline) retries() int {
+	switch {
+	case p.cfg.Retries < 0:
+		return 0
+	case p.cfg.Retries == 0:
+		return 2
+	default:
+		return p.cfg.Retries
+	}
+}
+
+// readLoop demuxes datagrams arriving on one shared socket. A response
+// is delivered only to the waiter whose (destination, ID, question)
+// triple it echoes, which subsumes the serial client's validate():
+// spoofed or stale datagrams match no key and are dropped.
+func (p *Pipeline) readLoop(pc net.PacketConn) {
+	defer p.readers.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if p.isClosed() {
+				return
+			}
+			continue
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil || !resp.Response {
+			p.mismatched.Add(1)
+			continue
+		}
+		key := pendingKey{dest: raddr.String(), id: resp.ID, q: resp.Question()}
+		p.mu.Lock()
+		ch, ok := p.pending[key]
+		if ok {
+			delete(p.pending, key)
+		}
+		p.mu.Unlock()
+		if !ok {
+			p.mismatched.Add(1)
+			continue
+		}
+		p.received.Add(1)
+		ch <- resp // buffered; the key was removed, so this is the only send
+	}
+}
+
+// register allocates a transaction ID unique among in-flight queries to
+// the same destination and question, and installs the response channel.
+func (p *Pipeline) register(dest string, q dnswire.Question) (uint16, chan *dnswire.Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, nil, ErrPipelineClosed
+	}
+	for tries := 0; tries < 256; tries++ {
+		id := uint16(p.rng.Intn(1 << 16))
+		key := pendingKey{dest: dest, id: id, q: q}
+		if _, busy := p.pending[key]; busy {
+			continue
+		}
+		ch := make(chan *dnswire.Message, 1)
+		p.pending[key] = ch
+		return id, ch, nil
+	}
+	return 0, nil, fmt.Errorf("dnsclient: no free query ID for %s %s", dest, q)
+}
+
+func (p *Pipeline) unregister(dest string, id uint16, q dnswire.Question) {
+	p.mu.Lock()
+	delete(p.pending, pendingKey{dest: dest, id: id, q: q})
+	p.mu.Unlock()
+}
+
+// Exchange sends q to server ("host:port") and waits for the matching
+// response, retrying over UDP with backoff and falling back to TCP on
+// truncation or UDP exhaustion (unless NoTCPFallback). The pipeline owns
+// transaction IDs: q.ID is overwritten with a fresh ID per attempt,
+// guaranteed unique among in-flight queries to the same destination and
+// question. ctx cancellation aborts promptly.
+func (p *Pipeline) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	raddr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	dest := raddr.String()
+	data, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	backoff := p.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= p.retries(); attempt++ {
+		if attempt > 0 {
+			p.retried.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		resp, err := p.attempt(ctx, raddr, dest, q, data)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if errors.Is(err, ErrPipelineClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if resp.Truncated {
+			if p.cfg.NoTCPFallback {
+				return resp, nil
+			}
+			p.tcpFalls.Add(1)
+			return p.exchangeTCP(ctx, server, q)
+		}
+		return resp, nil
+	}
+	if p.cfg.NoTCPFallback {
+		return nil, lastErr
+	}
+	p.tcpFalls.Add(1)
+	return p.exchangeTCP(ctx, server, q)
+}
+
+// attempt registers one in-flight entry, fires the datagram on the next
+// shared socket, and waits for the demuxed response or the deadline.
+func (p *Pipeline) attempt(ctx context.Context, raddr *net.UDPAddr, dest string, q *dnswire.Message, data []byte) (*dnswire.Message, error) {
+	question := q.Question()
+	id, ch, err := p.register(dest, question)
+	if err != nil {
+		return nil, err
+	}
+	defer p.unregister(dest, id, question)
+	q.ID = id
+	binary.BigEndian.PutUint16(data, id)
+	pc := p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	if _, err := pc.WriteTo(data, raddr); err != nil {
+		return nil, err
+	}
+	p.sent.Add(1)
+	timer := time.NewTimer(p.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// exchangeTCP runs the fallback on a per-query TCP connection, bounded
+// by the pipeline timeout and any earlier ctx deadline.
+func (p *Pipeline) exchangeTCP(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: p.cfg.Timeout}
+	conn, err := d.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(p.cfg.Timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	conn.SetDeadline(deadline)
+	data, err := q.Pack() // re-pack: attempts rewrote the ID
+	if err != nil {
+		return nil, err
+	}
+	respData, err := tcpRoundTrip(conn, data)
+	if err != nil {
+		return nil, err
+	}
+	m, err := dnswire.Unpack(respData)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(q, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -35,7 +35,12 @@ type Server struct {
 	pc     net.PacketConn
 	ln     net.Listener
 	closed bool
-	wg     sync.WaitGroup
+	// loops tracks the two accept/read loops; handlers tracks per-request
+	// goroutines. They are separate so Close can forbid new handler
+	// spawns (via the closed flag, checked under mu by track) before
+	// waiting — a single WaitGroup would race Add against Wait.
+	loops    sync.WaitGroup
+	handlers sync.WaitGroup
 }
 
 // New creates a server for the handler.
@@ -60,7 +65,7 @@ func (s *Server) Start(addr string) (netip.AddrPort, error) {
 	s.mu.Lock()
 	s.pc, s.ln = pc, ln
 	s.mu.Unlock()
-	s.wg.Add(2)
+	s.loops.Add(2)
 	go s.serveUDP(pc)
 	go s.serveTCP(ln)
 	return bound, nil
@@ -78,7 +83,8 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
-	s.wg.Wait()
+	s.loops.Wait()
+	s.handlers.Wait()
 	return nil
 }
 
@@ -88,8 +94,21 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
+// track registers one request handler, unless the server is already
+// closed — in which case the caller must not spawn (Close may already be
+// waiting on the handlers WaitGroup, and Add after Wait is a race).
+func (s *Server) track() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.handlers.Add(1)
+	return true
+}
+
 func (s *Server) serveUDP(pc net.PacketConn) {
-	defer s.wg.Done()
+	defer s.loops.Done()
 	buf := make([]byte, 65535)
 	for {
 		n, raddr, err := pc.ReadFrom(buf)
@@ -102,16 +121,18 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
 		from := raddr.(*net.UDPAddr).AddrPort()
-		s.wg.Add(1)
+		if !s.track() {
+			return
+		}
 		go func() {
-			defer s.wg.Done()
-			resp := s.dispatch(from.Addr(), pkt)
+			defer s.handlers.Done()
+			resp, query := s.dispatch(from.Addr(), pkt)
 			if resp == nil {
 				return
 			}
 			limit := dnswire.MaxUDPSize
-			if q, err := dnswire.Unpack(pkt); err == nil && q.EDNS != nil && int(q.EDNS.UDPSize) > limit {
-				limit = int(q.EDNS.UDPSize)
+			if query != nil && query.EDNS != nil && int(query.EDNS.UDPSize) > limit {
+				limit = int(query.EDNS.UDPSize)
 			}
 			data, err := resp.TruncateTo(limit)
 			if err != nil {
@@ -123,7 +144,7 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 }
 
 func (s *Server) serveTCP(ln net.Listener) {
-	defer s.wg.Done()
+	defer s.loops.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -132,9 +153,12 @@ func (s *Server) serveTCP(ln net.Listener) {
 			}
 			continue
 		}
-		s.wg.Add(1)
+		if !s.track() {
+			conn.Close()
+			return
+		}
 		go func() {
-			defer s.wg.Done()
+			defer s.handlers.Done()
 			defer conn.Close()
 			s.serveConn(conn)
 		}()
@@ -156,7 +180,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, pkt); err != nil {
 			return
 		}
-		resp := s.dispatch(from.Addr(), pkt)
+		resp, _ := s.dispatch(from.Addr(), pkt)
 		if resp == nil {
 			return
 		}
@@ -173,32 +197,35 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// dispatch decodes, handles, and prepares one response message. A nil
-// return means "send nothing" (undecodable header).
-func (s *Server) dispatch(from netip.Addr, pkt []byte) *dnswire.Message {
+// dispatch decodes, handles, and prepares one response message,
+// returning it along with the parsed query so callers can consult the
+// query's EDNS advertisement without unpacking the packet again. A nil
+// response means "send nothing"; query is nil when the packet did not
+// parse (undecodable or header-only).
+func (s *Server) dispatch(from netip.Addr, pkt []byte) (resp, query *dnswire.Message) {
 	query, err := dnswire.Unpack(pkt)
 	if err != nil {
 		// Answer FORMERR when at least the header parsed; drop
 		// otherwise.
 		if len(pkt) < 12 {
-			return nil
+			return nil, nil
 		}
 		resp := &dnswire.Message{}
 		resp.ID = binary.BigEndian.Uint16(pkt)
 		resp.Response = true
 		resp.RCode = dnswire.RCodeFormErr
-		return resp
+		return resp, nil
 	}
 	if query.Response {
-		return nil // never answer responses
+		return nil, query // never answer responses
 	}
-	resp := s.handler.HandleDNS(from, query)
+	resp = s.handler.HandleDNS(from, query)
 	if resp == nil {
-		return nil
+		return nil, query
 	}
 	resp.ID = query.ID
 	resp.Response = true
-	return resp
+	return resp, query
 }
 
 // ErrServerClosed mirrors net/http's sentinel for symmetry in callers.

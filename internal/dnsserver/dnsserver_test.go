@@ -156,6 +156,116 @@ func TestMalformedPacketGetsFormErr(t *testing.T) {
 	}
 }
 
+// dropFirstHandler silently drops the first query for each name, then
+// answers with enough records to overflow a 512-byte UDP response.
+type dropFirstHandler struct {
+	mu    sync.Mutex
+	seen  map[dnswire.Name]int
+	calls int
+}
+
+func (h *dropFirstHandler) HandleDNS(_ netip.Addr, q *dnswire.Message) *dnswire.Message {
+	name := q.Question().Name
+	h.mu.Lock()
+	h.calls++
+	if h.seen == nil {
+		h.seen = make(map[dnswire.Name]int)
+	}
+	h.seen[name]++
+	first := h.seen[name] == 1
+	h.mu.Unlock()
+	if first {
+		return nil
+	}
+	resp := dnswire.NewResponse(q)
+	for i := 0; i < 120; i++ {
+		resp.Answers = append(resp.Answers, dnswire.RR{
+			Name: name, TTL: 60,
+			Data: dnswire.ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
+		})
+	}
+	return resp
+}
+
+// TestUDPRetryTruncationTCPFallback drives the whole transport
+// escalation end-to-end with the serial client: the first UDP attempt is
+// dropped, the retry returns a truncated answer, and the TCP fallback
+// delivers all 120 records.
+func TestUDPRetryTruncationTCPFallback(t *testing.T) {
+	h := &dropFirstHandler{}
+	srv := New(h)
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	c := &dnsclient.Client{Timeout: 300 * time.Millisecond, Retries: 2, UDPSize: 512}
+	resp, err := c.Query(bound.String(), "www.retry.test.", dnswire.TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated || len(resp.Answers) != 120 {
+		t.Fatalf("tc=%v answers=%d, want full 120 via TCP", resp.Truncated, len(resp.Answers))
+	}
+	h.mu.Lock()
+	calls := h.calls
+	h.mu.Unlock()
+	if calls < 3 {
+		t.Fatalf("handler calls = %d, want ≥ 3 (drop, truncated retry, TCP)", calls)
+	}
+}
+
+// TestCloseDuringTraffic is the -race regression for the Add-after-Wait
+// WaitGroup misuse: Close must never race per-request wg.Add calls from
+// the serve loops while it is already waiting.
+func TestCloseDuringTraffic(t *testing.T) {
+	auth := authority.NewServer(authority.Config{})
+	z := authority.NewZone("zone.test.", 60)
+	z.MustAdd(dnswire.RR{Name: "www.zone.test.", Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.44")}})
+	auth.AddZone(z)
+	srv := New(auth)
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := dnswire.NewQuery(7, "www.zone.test.", dnswire.TypeA)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("udp", bound.String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					conn.Write(pkt)
+				}
+			}
+		}()
+	}
+	// Close while the flood is mid-flight: under the old code this is a
+	// wg.Add racing wg.Wait.
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestCloseStopsServing(t *testing.T) {
 	auth := authority.NewServer(authority.Config{})
 	auth.AddZone(authority.NewZone("zone.test.", 60))

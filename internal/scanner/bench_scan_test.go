@@ -1,0 +1,91 @@
+package scanner
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/dnsclient"
+	"ecsdns/internal/dnsserver"
+	"ecsdns/internal/dnswire"
+)
+
+// simTargetHandler stands in for a population of open resolvers behind
+// one in-process dnsserver: it answers every probe after a simulated
+// network round-trip delay, which is what makes concurrency pay off the
+// way it does against real targets.
+type simTargetHandler struct {
+	delay time.Duration
+}
+
+func (h simTargetHandler) HandleDNS(_ netip.Addr, q *dnswire.Message) *dnswire.Message {
+	time.Sleep(h.delay)
+	resp := dnswire.NewResponse(q)
+	resp.Answers = append(resp.Answers, dnswire.RR{
+		Name: q.Question().Name, TTL: 60,
+		Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")},
+	})
+	return resp
+}
+
+// BenchmarkScanThroughput measures a full 1000-target scan through the
+// pipelined transport against the in-process dnsserver, serial vs
+// concurrent. Each simulated target costs a 1 ms round trip, so the
+// serial baseline is ≈ 1 s/op and concurrency 64 should be well over 5×
+// faster. Run with:
+//
+//	go test -bench ScanThroughput -benchtime 3x ./internal/scanner
+func BenchmarkScanThroughput(b *testing.B) {
+	srv := dnsserver.New(simTargetHandler{delay: time.Millisecond})
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	server := bound.String()
+
+	targets := make([]netip.Addr, 1000)
+	for i := range targets {
+		targets[i] = netip.AddrFrom4([4]byte{10, 42, byte(i >> 8), byte(i)})
+	}
+
+	for _, bc := range []struct {
+		name        string
+		concurrency int
+	}{
+		{"serial", 1},
+		{"concurrency64", 64},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			pipe, err := dnsclient.NewPipeline(dnsclient.PipelineConfig{
+				Sockets: 8, Timeout: 5 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pipe.Close()
+			scan := &Scan{
+				// Every fake target routes to the one loopback server;
+				// the probe name still encodes the target, so demux and
+				// log association behave as in a real campaign.
+				ExchangeCtx: func(ctx context.Context, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+					return pipe.Exchange(ctx, server, q)
+				},
+				Zone:        "scan.example.org.",
+				Concurrency: bc.concurrency,
+			}
+			logs := &LogBuffer{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := scan.Run(targets, logs)
+				if len(res.Responding) != len(targets) {
+					b.Fatalf("responding = %d, want %d", len(res.Responding), len(targets))
+				}
+			}
+			b.StopTimer()
+			qps := float64(len(targets)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/s")
+		})
+	}
+}

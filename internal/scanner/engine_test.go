@@ -1,0 +1,122 @@
+package scanner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEngineRunsAllJobs(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	eng := &Engine{Concurrency: 8}
+	err := eng.Run(context.Background(), 100, func(_ context.Context, i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("ran %d distinct jobs, want 100", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestEngineSerialByDefault(t *testing.T) {
+	// Concurrency 0 means one worker: jobs arrive strictly in order.
+	var order []int
+	eng := &Engine{}
+	err := eng.Run(context.Background(), 20, func(_ context.Context, i int) error {
+		order = append(order, i) // single worker: no locking needed
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestEngineCountsProgress(t *testing.T) {
+	prog := NewProgress()
+	eng := &Engine{Concurrency: 4, Progress: prog}
+	fail := errors.New("probe failed")
+	eng.Run(context.Background(), 10, func(_ context.Context, i int) error {
+		if i%2 == 0 {
+			return fail
+		}
+		return nil
+	})
+	s := prog.Snapshot()
+	if s.Sent != 10 || s.Done != 5 || s.Errors != 5 {
+		t.Fatalf("snapshot = %+v, want sent=10 done=5 errors=5", s)
+	}
+	if s.QPS <= 0 {
+		t.Fatalf("QPS = %v, want > 0", s.QPS)
+	}
+}
+
+func TestEngineRateLimit(t *testing.T) {
+	// 200 qps, burst 1: 20 jobs need ≥ 19 inter-job gaps of 5 ms.
+	eng := &Engine{Concurrency: 4, Rate: 200, Burst: 1}
+	start := time.Now()
+	err := eng.Run(context.Background(), 20, func(_ context.Context, _ int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("20 jobs at 200 qps finished in %v, want ≥ 50ms", elapsed)
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	ran := 0
+	eng := &Engine{Concurrency: 2}
+	err := eng.Run(ctx, 1000, func(ctx context.Context, i int) error {
+		mu.Lock()
+		ran++
+		if ran == 10 {
+			cancel()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran >= 1000 {
+		t.Fatal("cancellation did not stop the run")
+	}
+}
+
+func TestRateLimiterContextCancel(t *testing.T) {
+	l := NewRateLimiter(0.001, 1) // one token per ~17 minutes
+	if err := l.Wait(context.Background()); err != nil {
+		t.Fatal(err) // burst token
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := l.Wait(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Wait ignored context cancellation")
+	}
+}

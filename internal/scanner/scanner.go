@@ -7,12 +7,15 @@
 package scanner
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"net/netip"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ecsdns/internal/authority"
 	"ecsdns/internal/dnswire"
@@ -88,40 +91,101 @@ type Result struct {
 
 // Scan drives probe queries against a population of ingress resolvers
 // and reads the experimental authority's logs to associate ingresses
-// with egresses. The Exchange closure decouples it from any specific
-// transport.
+// with egresses. The Exchange closures decouple it from any specific
+// transport; set Concurrency (and optionally Rate) to fan probes out
+// over the worker-pool engine.
 type Scan struct {
-	// Exchange sends one DNS query and returns the response.
+	// Exchange sends one DNS query and returns the response. Used when
+	// ExchangeCtx is nil.
 	Exchange func(to netip.Addr, query *dnswire.Message) (*dnswire.Message, error)
+	// ExchangeCtx is the context-aware transport, preferred over
+	// Exchange when both are set. It must be safe for concurrent use
+	// when Concurrency > 1.
+	ExchangeCtx func(ctx context.Context, to netip.Addr, query *dnswire.Message) (*dnswire.Message, error)
 	// Zone is the scan zone served by the experimental authority.
 	Zone dnswire.Name
 	// ScannerAddr is the source of probe queries.
 	ScannerAddr netip.Addr
+	// Concurrency is the number of probes in flight (default 1 = serial).
+	Concurrency int
+	// Rate caps probe queries per second (0 = unlimited).
+	Rate float64
+	// Timeout bounds each probe when > 0 (via the probe's context).
+	Timeout time.Duration
+	// Progress, when non-nil, receives live sent/done/error counters.
+	Progress *Progress
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
-// Run probes every ingress with a hostname-encoded query (no ECS, per
-// the paper's methodology) and then interprets the authority log records
-// that arrived during the scan.
+// randID allocates a probe transaction ID from the scan's RNG. Random
+// IDs (rather than a wrapping counter) keep IDs from colliding
+// predictably on scans of more than 65 535 targets and deny off-path
+// responders a guessable sequence.
+func (s *Scan) randID() uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(s.rng.Intn(1 << 16))
+}
+
+// Run probes every ingress and interprets the authority log records that
+// arrived during the scan. It is RunContext without cancellation.
 func (s *Scan) Run(ingresses []netip.Addr, logs *LogBuffer) Result {
+	res, _ := s.RunContext(context.Background(), ingresses, logs)
+	return res
+}
+
+// RunContext probes every ingress with a hostname-encoded query (no
+// ECS, per the paper's methodology) through the concurrent engine, then
+// interprets the authority log records that arrived during the scan.
+// Each response is validated against its own query's ID and question;
+// mismatches (spoofed or crossed responses) do not count as responding.
+// The returned error is non-nil only when ctx ended early, in which case
+// the partial result is still returned.
+func (s *Scan) RunContext(ctx context.Context, ingresses []netip.Addr, logs *LogBuffer) (Result, error) {
 	res := Result{
 		Probed:           len(ingresses),
 		IngressToEgress:  make(map[netip.Addr][]netip.Addr),
 		ECSEgress:        make(map[netip.Addr]bool),
 		EgressSourceBits: make(map[netip.Addr]map[uint8]bool),
 	}
-	mark := logs.Len()
-	var id uint16
-	for _, ing := range ingresses {
-		id++
-		q := dnswire.NewQuery(id, EncodeProbeName(ing, s.Zone), dnswire.TypeA)
-		resp, err := s.Exchange(ing, q)
-		if err != nil || resp == nil {
-			continue
-		}
-		if resp.RCode == dnswire.RCodeNoError && len(resp.Answers) > 0 {
-			res.Responding = append(res.Responding, ing)
+	exchange := s.ExchangeCtx
+	if exchange == nil {
+		legacy := s.Exchange
+		exchange = func(_ context.Context, to netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+			return legacy(to, q)
 		}
 	}
+	mark := logs.Len()
+	var respMu sync.Mutex
+	eng := &Engine{Concurrency: s.Concurrency, Rate: s.Rate, Progress: s.Progress}
+	runErr := eng.Run(ctx, len(ingresses), func(ctx context.Context, i int) error {
+		ing := ingresses[i]
+		if s.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+			defer cancel()
+		}
+		q := dnswire.NewQuery(s.randID(), EncodeProbeName(ing, s.Zone), dnswire.TypeA)
+		resp, err := exchange(ctx, ing, q)
+		if err != nil || resp == nil {
+			return err
+		}
+		if !resp.Response || resp.ID != q.ID ||
+			len(resp.Questions) == 0 || resp.Questions[0] != q.Questions[0] {
+			return fmt.Errorf("scanner: invalid response from %s", ing)
+		}
+		if resp.RCode == dnswire.RCodeNoError && len(resp.Answers) > 0 {
+			respMu.Lock()
+			res.Responding = append(res.Responding, ing)
+			respMu.Unlock()
+		}
+		return nil
+	})
 	sort.Slice(res.Responding, func(i, j int) bool {
 		return res.Responding[i].Less(res.Responding[j])
 	})
@@ -160,7 +224,7 @@ func (s *Scan) Run(ingresses []netip.Addr, logs *LogBuffer) Result {
 			})
 		}
 	}
-	return res
+	return res, runErr
 }
 
 func containsAddr(s []netip.Addr, a netip.Addr) bool {

@@ -1,7 +1,9 @@
 package scanner
 
 import (
+	"context"
 	"net/netip"
+	"sync"
 	"testing"
 
 	"ecsdns/internal/authority"
@@ -152,6 +154,134 @@ func TestScanDetectsHiddenResolvers(t *testing.T) {
 	}
 	if !combo.HiddenPrefix.Contains(hidden) {
 		t.Fatalf("hidden prefix %s does not contain hidden resolver %s", combo.HiddenPrefix, hidden)
+	}
+}
+
+// TestScanConcurrentMatchesSerial runs the same campaign serially and
+// through the worker pool and requires identical results. netem is not
+// safe for concurrent handler execution, so the concurrent run
+// serializes the transport with a mutex — the engine's fan-out, ID
+// allocation, and validation still run fully concurrently.
+func TestScanConcurrentMatchesSerial(t *testing.T) {
+	build := func() (*scanRig, []netip.Addr, map[netip.Addr][]netip.Addr) {
+		rg := newScanRig(t)
+		e1 := rg.addResolver("London", 3, resolver.GoogleLikeProfile())
+		e2 := rg.addResolver("Paris", 4, resolver.NonECSProfile())
+		var ingresses []netip.Addr
+		want := make(map[netip.Addr][]netip.Addr)
+		for i, eg := range []*resolver.Resolver{e1, e2, e1, e2} {
+			fwd := rg.world.AddrInCity((i*7+2)%len(geo.Cities), 40+i, 21)
+			rg.addForwarder(fwd, eg.Addr())
+			ingresses = append(ingresses, fwd)
+			want[fwd] = []netip.Addr{eg.Addr()}
+		}
+		return rg, ingresses, want
+	}
+
+	rgSerial, ingresses, want := build()
+	serial := &Scan{Exchange: rgSerial.exchange, Zone: rgSerial.zone, ScannerAddr: rgSerial.scanAddr}
+	resSerial := serial.Run(ingresses, rgSerial.logs)
+
+	rgConc, ingresses2, _ := build()
+	var netMu sync.Mutex
+	prog := NewProgress()
+	conc := &Scan{
+		ExchangeCtx: func(_ context.Context, to netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+			netMu.Lock()
+			defer netMu.Unlock()
+			return rgConc.exchange(to, q)
+		},
+		Zone: rgConc.zone, ScannerAddr: rgConc.scanAddr,
+		Concurrency: 4, Progress: prog,
+	}
+	resConc, err := conc.RunContext(context.Background(), ingresses2, rgConc.logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resConc.Probed != resSerial.Probed || len(resConc.Responding) != len(resSerial.Responding) {
+		t.Fatalf("concurrent probed=%d responding=%d, serial probed=%d responding=%d",
+			resConc.Probed, len(resConc.Responding), resSerial.Probed, len(resSerial.Responding))
+	}
+	for i := range resSerial.Responding {
+		if resConc.Responding[i] != resSerial.Responding[i] {
+			t.Fatalf("responding[%d]: concurrent %s, serial %s", i, resConc.Responding[i], resSerial.Responding[i])
+		}
+	}
+	for ing, egs := range want {
+		if got := resConc.IngressToEgress[ing]; len(got) != 1 || got[0] != egs[0] {
+			t.Fatalf("ingress %s → %v, want %v", ing, got, egs)
+		}
+	}
+	if s := prog.Snapshot(); s.Sent != 4 || s.Done != 4 {
+		t.Fatalf("progress = %+v, want 4 sent 4 done", s)
+	}
+}
+
+// TestScanAllocatesRandomIDs guards against the old wrapping-counter ID
+// scheme (1, 2, 3, …): with RNG allocation, fifty consecutive probes are
+// never a strict +1 sequence.
+func TestScanAllocatesRandomIDs(t *testing.T) {
+	var ids []uint16
+	s := &Scan{
+		Exchange: func(_ netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+			ids = append(ids, q.ID)
+			return dnswire.NewResponse(q), nil
+		},
+		Zone: "scan.example.org.",
+	}
+	targets := make([]netip.Addr, 50)
+	for i := range targets {
+		targets[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+	}
+	s.Run(targets, &LogBuffer{})
+	if len(ids) != 50 {
+		t.Fatalf("captured %d IDs, want 50", len(ids))
+	}
+	sequential := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			sequential = false
+			break
+		}
+	}
+	if sequential {
+		t.Fatal("probe IDs form a strict counter sequence; want RNG allocation")
+	}
+}
+
+// TestScanValidatesResponses ensures spoofed or crossed responses — wrong
+// ID, wrong question, or missing QR bit — never count as responding.
+func TestScanValidatesResponses(t *testing.T) {
+	good := netip.MustParseAddr("10.1.0.1")
+	badID := netip.MustParseAddr("10.1.0.2")
+	badQ := netip.MustParseAddr("10.1.0.3")
+	noQR := netip.MustParseAddr("10.1.0.4")
+	answer := func(resp *dnswire.Message) *dnswire.Message {
+		resp.Answers = append(resp.Answers, dnswire.RR{
+			Name: resp.Question().Name,
+			Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+		})
+		return resp
+	}
+	s := &Scan{
+		Exchange: func(to netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+			resp := answer(dnswire.NewResponse(q))
+			switch to {
+			case badID:
+				resp.ID++
+			case badQ:
+				resp.Questions[0].Name = "other.example.org."
+			case noQR:
+				resp.Response = false
+			}
+			return resp, nil
+		},
+		Zone: "scan.example.org.",
+	}
+	res := s.Run([]netip.Addr{good, badID, badQ, noQR}, &LogBuffer{})
+	if len(res.Responding) != 1 || res.Responding[0] != good {
+		t.Fatalf("responding = %v, want only %s", res.Responding, good)
 	}
 }
 
