@@ -1,0 +1,28 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet fuzz verify experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzUnpack    -fuzztime $(FUZZTIME) -run NONE ./internal/dnswire
+	$(GO) test -fuzz FuzzNameParse -fuzztime $(FUZZTIME) -run NONE ./internal/dnswire
+	$(GO) test -fuzz FuzzDecode    -fuzztime $(FUZZTIME) -run NONE ./internal/ecsopt
+
+# The full tier-1 gate plus fuzz smokes, as verify.sh.
+verify:
+	FUZZTIME=$(FUZZTIME) ./verify.sh
+
+experiments:
+	$(GO) run ./cmd/ecslab all

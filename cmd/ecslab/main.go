@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ecslab [-scale 0.1] [-seed 1] <experiment-id>... | all | list
+//	ecslab [-scale 0.1] [-seed 1] [-faults spec] <experiment-id>... | all | list
 //
 // Experiment ids: table1 table2 fig1..fig8 section5 section6_1
 // section6_3.
@@ -16,11 +16,13 @@ import (
 	"os"
 
 	"ecsdns"
+	"ecsdns/internal/netem"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.1, "population/volume scale relative to the paper's datasets")
 	seed := flag.Int64("seed", 1, "random seed (same seed ⇒ identical reports)")
+	faults := flag.String("faults", "", `fault-injection spec applied to the study network, e.g. "loss=0.05,latency=20ms,servfail=0.1" (see netem.ParseFaultPlan)`)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ecslab [flags] <experiment>... | all | list\n\nexperiments:\n")
 		for _, id := range ecsdns.Experiments() {
@@ -33,7 +35,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := ecsdns.Config{Scale: *scale, Seed: *seed}
+	if _, err := netem.ParseFaultPlan(*faults); err != nil {
+		fmt.Fprintf(os.Stderr, "ecslab: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := ecsdns.Config{Scale: *scale, Seed: *seed, Faults: *faults}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "list" {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"net/netip"
+	"os"
 	"sync"
 	"time"
 
@@ -32,9 +33,17 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "probes in flight during the scan phase")
 	rate := flag.Float64("rate", 0, "max probe queries/sec (0 = unlimited)")
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe timeout")
+	faults := flag.String("faults", "", `fault-injection spec for the fabric, e.g. "loss=0.2,servfail=0.1" (see netem.ParseFaultPlan)`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault RNG (same seed ⇒ same failure trace)")
 	flag.Parse()
 	world := geo.Build(geo.DefaultConfig)
 	net := netem.New(world)
+	plan, err := netem.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Println("bad -faults:", err)
+		os.Exit(2)
+	}
+	net.SetFaults(plan, *faultSeed)
 	logs := &scanner.LogBuffer{}
 	scope := scanner.NewScopeControl()
 
@@ -116,6 +125,13 @@ func main() {
 	snap := prog.Snapshot()
 	fmt.Printf("probed %d ingresses, %d responded (%.0f probes/s wall-clock)\n",
 		res.Probed, len(res.Responding), snap.QPS)
+	if snap.Errors > 0 || !plan.IsZero() {
+		fmt.Printf("  probe accounting: sent=%d done=%d errors=%d (timeouts=%d truncated=%d mismatched=%d)\n",
+			snap.Sent, snap.Done, snap.Errors, snap.Timeouts, snap.Truncated, snap.Mismatched)
+		fs := net.FaultStats()
+		fmt.Printf("  fault layer: lost=%d blackouts=%d truncated=%d servfails=%d corrupted=%d delayed=%d\n",
+			fs.Lost, fs.Blackouts, fs.Truncated, fs.ServFails, fs.Corrupted, fs.Delayed)
+	}
 	for ing, egs := range res.IngressToEgress {
 		for _, eg := range egs {
 			fmt.Printf("  ingress %-15s → egress %-15s (%s) ECS=%v\n",

@@ -21,6 +21,13 @@ type Config struct {
 	// Seed drives every random choice; identical configs produce
 	// identical reports.
 	Seed int64
+	// Faults, when non-empty, is a netem.ParseFaultPlan spec (e.g.
+	// "loss=0.05,latency=20ms") applied globally to the study network,
+	// so every experiment can be rerun under degraded conditions. The
+	// fault RNG is seeded from Seed: identical configs still produce
+	// identical reports. An invalid spec panics in BuildStudy; validate
+	// with netem.ParseFaultPlan first when the spec is user input.
+	Faults string
 }
 
 // DefaultConfig is the scale the test suite and benchmarks run at.

@@ -185,6 +185,13 @@ type Study struct {
 func BuildStudy(cfg Config) *Study {
 	w := geo.Build(geo.Config{Seed: cfg.Seed, NumASes: 400, BlocksPerAS: 2})
 	n := netem.New(w)
+	if cfg.Faults != "" {
+		plan, err := netem.ParseFaultPlan(cfg.Faults)
+		if err != nil {
+			panic("core: invalid Config.Faults: " + err.Error())
+		}
+		n.SetFaults(plan, cfg.Seed)
+	}
 	s := &Study{
 		Cfg: cfg, World: w, Net: n,
 		CDNLogs: &scanner.LogBuffer{}, ScanLogs: &scanner.LogBuffer{},

@@ -51,6 +51,11 @@ type PipelineStats struct {
 	// Mismatched counts datagrams that matched no in-flight query
 	// (late, spoofed, or malformed).
 	Mismatched int64
+	// Timeouts counts UDP attempts that hit their per-attempt deadline.
+	Timeouts int64
+	// Truncated counts truncated responses received (whether they then
+	// moved to TCP or were returned as-is under NoTCPFallback).
+	Truncated int64
 }
 
 // pendingKey identifies one in-flight query: responses are demuxed by
@@ -79,7 +84,7 @@ type Pipeline struct {
 
 	readers sync.WaitGroup
 
-	sent, received, retried, tcpFalls, mismatched atomic.Int64
+	sent, received, retried, tcpFalls, mismatched, timeouts, truncated atomic.Int64
 }
 
 // NewPipeline opens the shared sockets and starts their reader loops.
@@ -136,6 +141,8 @@ func (p *Pipeline) Stats() PipelineStats {
 		Retries:      p.retried.Load(),
 		TCPFallbacks: p.tcpFalls.Load(),
 		Mismatched:   p.mismatched.Load(),
+		Timeouts:     p.timeouts.Load(),
+		Truncated:    p.truncated.Load(),
 	}
 }
 
@@ -259,6 +266,7 @@ func (p *Pipeline) Exchange(ctx context.Context, server string, q *dnswire.Messa
 			continue
 		}
 		if resp.Truncated {
+			p.truncated.Add(1)
 			if p.cfg.NoTCPFallback {
 				return resp, nil
 			}
@@ -296,6 +304,7 @@ func (p *Pipeline) attempt(ctx context.Context, raddr *net.UDPAddr, dest string,
 	case resp := <-ch:
 		return resp, nil
 	case <-timer.C:
+		p.timeouts.Add(1)
 		return nil, fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
 	case <-ctx.Done():
 		return nil, ctx.Err()

@@ -172,6 +172,47 @@ func (c *Cache) Lookup(key Key, client netip.Addr, now time.Time) (*Entry, bool)
 	return best, true
 }
 
+// LookupStale finds the best expired-but-recent entry for key usable by
+// client: a positive answer whose expiry is no more than maxStale in the
+// past, honoring the cache's scope mode. It backs RFC 8767-style stale
+// serving when every upstream retry has failed, so only entries Lookup
+// would have declined solely for being expired qualify. The freshest
+// (latest-expiring) covering entry wins. Hit/miss counters are not
+// touched: a stale answer is a degraded miss, not a hit.
+func (c *Cache) LookupStale(key Key, client netip.Addr, now time.Time, maxStale time.Duration) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *Entry
+	consider := func(e *Entry) {
+		if e == nil || e.Expiry.After(now) || !e.Expiry.Add(maxStale).After(now) {
+			return
+		}
+		if e.RCode != dnswire.RCodeNoError || len(e.Answer) == 0 {
+			return // only stale-but-valid positive answers are servable
+		}
+		if c.cfg.Mode != IgnoreScope && e.HasECS &&
+			!e.Subnet.Covers(client, int(c.effectiveScope(e))) {
+			return
+		}
+		if best == nil || e.Expiry.After(best.Expiry) {
+			best = e
+		}
+	}
+	if c.cfg.Indexed {
+		if ix := c.indexes[key]; ix != nil {
+			consider(ix.shared)
+			for _, e := range ix.byPrefix {
+				consider(e)
+			}
+		}
+	} else {
+		for _, e := range c.entries[key] {
+			consider(e)
+		}
+	}
+	return best, best != nil
+}
+
 // Insert stores an entry for key, replacing any entry indexed under the
 // same effective prefix. Expired entries for the key are collected in
 // passing.

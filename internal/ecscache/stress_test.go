@@ -1,0 +1,96 @@
+package ecscache
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// TestConcurrentCacheAccess hammers one cache with parallel readers,
+// writers, purgers and len-takers. It asserts nothing beyond "no race,
+// no panic, no torn entry" — run it under -race (verify.sh does) to
+// make the mutex discipline load-bearing. Both cache structures get the
+// same treatment.
+func TestConcurrentCacheAccess(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"linear", Config{Mode: HonorScope, ClampScopeToSource: true}},
+		{"indexed", Config{Mode: HonorScope, ClampScopeToSource: true, Indexed: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			c := New(mode.cfg)
+			start := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
+			keys := make([]Key, 8)
+			for i := range keys {
+				keys[i] = Key{
+					Name:  dnswire.MustParseName(fmt.Sprintf("k%d.stress.example.", i)),
+					Type:  dnswire.TypeA,
+					Class: dnswire.ClassINET,
+				}
+			}
+			subnet := func(i int) ecsopt.ClientSubnet {
+				a := netip.AddrFrom4([4]byte{10, byte(i), byte(i % 4), 0})
+				return ecsopt.MustNew(a, 24).WithScope(24)
+			}
+			client := func(i int) netip.Addr {
+				return netip.AddrFrom4([4]byte{10, byte(i), byte(i % 4), 9})
+			}
+			answer := []dnswire.RR{{
+				Name:  "k.stress.example.",
+				Class: dnswire.ClassINET, TTL: 20,
+				Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+			}}
+
+			const workers = 4
+			const iters = 500
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() { // writer
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						k := keys[(w+i)%len(keys)]
+						now := start.Add(time.Duration(i) * time.Millisecond)
+						c.Insert(k, Entry{
+							Subnet: subnet(i % 16), HasECS: true,
+							Answer: answer, Expiry: now.Add(20 * time.Second),
+						}, now)
+					}
+				}()
+				wg.Add(1)
+				go func() { // reader, fresh and stale paths
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						k := keys[(w+i)%len(keys)]
+						now := start.Add(time.Duration(i) * time.Millisecond)
+						if e, ok := c.Lookup(k, client(i%16), now); ok {
+							if e.RemainingTTL(now) > 20 {
+								t.Errorf("torn entry: TTL %d", e.RemainingTTL(now))
+								return
+							}
+						}
+						c.LookupStale(k, client(i%16), now.Add(30*time.Second), time.Hour)
+					}
+				}()
+				wg.Add(1)
+				go func() { // purger + len
+					defer wg.Done()
+					for i := 0; i < iters/10; i++ {
+						now := start.Add(time.Duration(i*10) * time.Millisecond)
+						c.PurgeExpired(now.Add(time.Duration(i) * time.Second))
+						c.Len(now)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -9,9 +9,9 @@ package netem
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecsdns/internal/dnswire"
@@ -96,10 +96,14 @@ type Network struct {
 	// WireTap, when non-nil, observes every exchange after it completes.
 	WireTap func(ev Event)
 
-	// loss is the per-exchange drop probability (failure injection);
-	// lossRNG drives it deterministically.
-	loss    float64
-	lossRNG *rand.Rand
+	// Fault injection (see faults.go): a global plan plus per-node
+	// plans, each with its own seeded RNG, and the counters they feed.
+	// faultsActive keeps the no-fault hot path to one atomic load.
+	fmu          sync.Mutex
+	globalFaults *faultState
+	nodeFaults   map[netip.Addr]*faultState
+	fstats       FaultStats
+	faultsActive atomic.Bool
 
 	// CountExchanges tracks the total number of exchanges for load
 	// accounting.
@@ -178,20 +182,13 @@ func (n *Network) RTT(a, b netip.Addr) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
 }
 
-// SetLoss installs a per-exchange packet-loss probability for failure
-// injection, driven by a deterministic seed. p ≤ 0 disables loss.
-func (n *Network) SetLoss(p float64, seed int64) {
-	n.mu.Lock()
-	n.loss = p
-	n.lossRNG = rand.New(rand.NewSource(seed))
-	n.mu.Unlock()
-}
-
 // Exchange sends query from `from` to `to`, advances the virtual clock by
 // the path RTT, and returns the response along with that RTT. A nil
 // response from the handler maps to ErrDropped, modeling the silent drops
-// the paper describes for buggy nameservers; injected loss maps to
-// ErrLost after a full timeout-equivalent delay.
+// the paper describes for buggy nameservers; injected loss (and blackout
+// windows) map to ErrLost after a full timeout-equivalent delay, and the
+// response may carry an injected truncation, SERVFAIL, or corruption per
+// the installed FaultPlans (see faults.go).
 func (n *Network) Exchange(from, to netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
 	n.mu.RLock()
 	h, ok := n.nodes[to]
@@ -199,18 +196,21 @@ func (n *Network) Exchange(from, to netip.Addr, query *dnswire.Message) (*dnswir
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrNoRoute, to)
 	}
-	n.mu.Lock()
-	lost := n.loss > 0 && n.lossRNG != nil && n.lossRNG.Float64() < n.loss
-	n.mu.Unlock()
-	if lost {
-		// The sender burns a timeout waiting for the lost datagram.
-		n.clock.Advance(time.Second)
-		n.counter.Lock()
-		n.counter.n++
-		n.counter.Unlock()
-		return nil, time.Second, ErrLost
+	faulted := n.faultsActive.Load()
+	var extra time.Duration
+	if faulted {
+		lost, cost, add := n.forwardFaults(to)
+		if lost {
+			// The sender burns a timeout waiting for the lost datagram.
+			n.clock.Advance(cost)
+			n.counter.Lock()
+			n.counter.n++
+			n.counter.Unlock()
+			return nil, cost, ErrLost
+		}
+		extra = add
 	}
-	rtt := n.RTT(from, to)
+	rtt := n.RTT(from, to) + extra
 	// One-way trip before the handler runs, the return trip after, so
 	// nested exchanges made by the handler observe a sensible clock.
 	n.clock.Advance(rtt / 2)
@@ -221,6 +221,9 @@ func (n *Network) Exchange(from, to netip.Addr, query *dnswire.Message) (*dnswir
 	n.counter.Unlock()
 	if resp == nil {
 		return nil, rtt, ErrDropped
+	}
+	if faulted {
+		resp = n.responseFaults(to, resp)
 	}
 	if tap := n.WireTap; tap != nil {
 		tap(Event{From: from, To: to, Query: query, Response: resp, RTT: rtt, Time: n.clock.Now()})

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecsdns/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update so intentional format changes are a one-flag refresh.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s (run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestTableGolden pins the exact rendering of the table format every
+// experiment report uses: title, header separator, column alignment
+// (including rows wider than their header and cells shorter than
+// theirs), float formatting, and unpadded last columns.
+func TestTableGolden(t *testing.T) {
+	tbl := &Table{
+		Title:   "ECS source prefix lengths (sample)",
+		Headers: []string{"prefix", "resolvers", "share"},
+	}
+	tbl.AddRow("/24", 3731, 0.9)
+	tbl.AddRow("/32 jammed", 12, 0.0029)
+	tbl.AddRow("none", 9, float64(9)/4147)
+	golden(t, "table.golden", tbl.String())
+}
+
+// TestSeriesTableGolden pins the CDF-figure rendering: quantile headers,
+// per-series rows in sorted order, and integer-vs-float cell formatting.
+func TestSeriesTableGolden(t *testing.T) {
+	series := map[string]*stats.CDF{
+		"cdn":  stats.NewCDF([]float64{1, 2, 2, 3, 5, 8, 13, 21}),
+		"scan": stats.NewCDF([]float64{2, 4, 8, 16, 32}),
+	}
+	tbl := SeriesTable("TTL percentiles by dataset", "seconds",
+		series, []float64{0.25, 0.5, 0.9})
+	golden(t, "series_table.golden", tbl.String())
+}

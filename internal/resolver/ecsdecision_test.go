@@ -1,0 +1,251 @@
+package resolver
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/netem"
+)
+
+// decisionRig builds a bare resolver (no network) for exercising
+// ecsDecision directly.
+func decisionRig(p Profile) *Resolver {
+	clk := netem.NewClock(netem.SimStart)
+	return New(Config{
+		Addr:    netip.MustParseAddr("198.51.100.53"),
+		Now:     clk.Now,
+		Profile: p,
+		Seed:    7,
+	})
+}
+
+func TestECSDecisionTable(t *testing.T) {
+	auth := netip.MustParseAddr("203.0.113.53")
+	client := netip.MustParseAddr("192.0.2.77")
+	probe := dnswire.MustParseName("probe.test.example.")
+	other := dnswire.MustParseName("other.test.example.")
+	aQ := func(n dnswire.Name) dnswire.Question {
+		return dnswire.Question{Name: n, Type: dnswire.TypeA, Class: dnswire.ClassINET}
+	}
+
+	cases := []struct {
+		name         string
+		profile      Profile
+		zone         dnswire.Name
+		q            dnswire.Question
+		withinMinute bool
+		wantAttach   bool
+		wantSubnet   ecsopt.ClientSubnet
+	}{
+		{
+			name:       "never strategy sends nothing",
+			profile:    NonECSProfile(),
+			q:          aQ(other),
+			wantAttach: false,
+		},
+		{
+			name:       "always strategy sends client /24",
+			profile:    GoogleLikeProfile(),
+			q:          aQ(other),
+			wantAttach: true,
+			wantSubnet: ecsopt.MustNew(client, 24),
+		},
+		{
+			name:       "no ECS to the root zone",
+			profile:    GoogleLikeProfile(),
+			zone:       dnswire.Root,
+			q:          aQ(other),
+			wantAttach: false,
+		},
+		{
+			name: "SendECSToRoot violation sends anyway",
+			profile: func() Profile {
+				p := GoogleLikeProfile()
+				p.SendECSToRoot = true
+				return p
+			}(),
+			zone:       dnswire.Root,
+			q:          aQ(other),
+			wantAttach: true,
+			wantSubnet: ecsopt.MustNew(client, 24),
+		},
+		{
+			name:       "no ECS on NS queries by default",
+			profile:    GoogleLikeProfile(),
+			q:          dnswire.Question{Name: other, Type: dnswire.TypeNS, Class: dnswire.ClassINET},
+			wantAttach: false,
+		},
+		{
+			name: "hostname prober fires on a probe name",
+			profile: Profile{
+				Probing:      ProbeHostnames,
+				ProbeNames:   []dnswire.Name{probe},
+				V4SourceBits: 24,
+			},
+			q:          aQ(probe),
+			wantAttach: true,
+			wantSubnet: ecsopt.MustNew(client, 24),
+		},
+		{
+			name: "hostname prober skips other names",
+			profile: Profile{
+				Probing:      ProbeHostnames,
+				ProbeNames:   []dnswire.Name{probe},
+				V4SourceBits: 24,
+			},
+			q:          aQ(other),
+			wantAttach: false,
+		},
+		{
+			name: "hostname prober with empty set probes everything",
+			profile: Profile{
+				Probing:      ProbeHostnames,
+				V4SourceBits: 24,
+			},
+			q:          aQ(other),
+			wantAttach: true,
+			wantSubnet: ecsopt.MustNew(client, 24),
+		},
+		{
+			name: "on-miss prober fires outside the recency window",
+			profile: Profile{
+				Probing:      ProbeOnMiss,
+				ProbeNames:   []dnswire.Name{probe},
+				V4SourceBits: 24,
+			},
+			q:            aQ(probe),
+			withinMinute: false,
+			wantAttach:   true,
+			wantSubnet:   ecsopt.MustNew(client, 24),
+		},
+		{
+			name: "on-miss prober suppressed within the minute",
+			profile: Profile{
+				Probing:      ProbeOnMiss,
+				ProbeNames:   []dnswire.Name{probe},
+				V4SourceBits: 24,
+			},
+			q:            aQ(probe),
+			withinMinute: true,
+			wantAttach:   false,
+		},
+		{
+			name:       "zone whitelist hit",
+			profile:    WhitelistProfile("test.example."),
+			zone:       "test.example.",
+			q:          aQ(other),
+			wantAttach: true,
+			wantSubnet: ecsopt.MustNew(client, 24),
+		},
+		{
+			name:       "zone whitelist miss",
+			profile:    WhitelistProfile("whitelisted.example."),
+			zone:       "test.example.",
+			q:          aQ(other),
+			wantAttach: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := decisionRig(tc.profile)
+			zone := tc.zone
+			if zone == "" {
+				zone = "test.example."
+			}
+			attach, cs := r.ecsDecision(auth, zone, tc.q, r.cfg.Now(), tc.withinMinute, client, tc.profile.sourceBits(false))
+			if attach != tc.wantAttach {
+				t.Fatalf("attach = %v, want %v", attach, tc.wantAttach)
+			}
+			if attach && cs != tc.wantSubnet {
+				t.Fatalf("subnet = %v, want %v", cs, tc.wantSubnet)
+			}
+		})
+	}
+}
+
+func TestECSDecisionIntervalProbing(t *testing.T) {
+	auth := netip.MustParseAddr("203.0.113.53")
+	client := netip.MustParseAddr("192.0.2.77")
+	probe := dnswire.MustParseName("probe.test.example.")
+	p := LoopbackProberProfile()
+	p.ProbeNames = []dnswire.Name{probe}
+	r := decisionRig(p)
+	clk := netem.NewClock(netem.SimStart)
+	q := dnswire.Question{Name: probe, Type: dnswire.TypeA, Class: dnswire.ClassINET}
+
+	// First probe fires and carries the loopback address.
+	attach, cs := r.ecsDecision(auth, "test.example.", q, clk.Now(), false, client, 24)
+	if !attach || cs != ecsopt.MustNew(LoopbackAddr, 32) {
+		t.Fatalf("first interval probe: attach=%v cs=%v", attach, cs)
+	}
+	// Within the interval the probe is suppressed.
+	clk.Advance(10 * time.Minute)
+	if attach, _ = r.ecsDecision(auth, "test.example.", q, clk.Now(), false, client, 24); attach {
+		t.Fatal("probe fired again inside the 30-minute interval")
+	}
+	// A non-probe name must not consume the interval slot.
+	clk.Advance(25 * time.Minute) // 35 min since the first probe: due again
+	otherQ := dnswire.Question{Name: "other.test.example.", Type: dnswire.TypeA, Class: dnswire.ClassINET}
+	if attach, _ = r.ecsDecision(auth, "test.example.", otherQ, clk.Now(), false, client, 24); attach {
+		t.Fatal("non-probe name carried an interval probe")
+	}
+	// ...so the probe string itself still fires.
+	if attach, _ = r.ecsDecision(auth, "test.example.", q, clk.Now(), false, client, 24); !attach {
+		t.Fatal("interval probe did not fire after the interval elapsed")
+	}
+	// Per-authority state: a different authority probes independently.
+	auth2 := netip.MustParseAddr("203.0.113.99")
+	if attach, _ = r.ecsDecision(auth2, "test.example.", q, clk.Now(), false, client, 24); !attach {
+		t.Fatal("interval state leaked across authorities")
+	}
+}
+
+func TestECSDecisionPrefixAdaptation(t *testing.T) {
+	auth := netip.MustParseAddr("203.0.113.53")
+	other := netip.MustParseAddr("203.0.113.99")
+	client := netip.MustParseAddr("192.0.2.77")
+	q := dnswire.Question{Name: "a.test.example.", Type: dnswire.TypeA, Class: dnswire.ClassINET}
+	r := decisionRig(AdaptiveProfile())
+
+	// Nothing learned yet: the full /24 goes out.
+	attach, cs := r.ecsDecision(auth, "test.example.", q, r.cfg.Now(), false, client, 24)
+	if !attach || cs.SourcePrefix != 24 {
+		t.Fatalf("pre-adaptation: attach=%v cs=%v", attach, cs)
+	}
+	// The authority returned scope /20 at some point; the resolver must
+	// now shed the extra client bits for that authority only.
+	r.mu.Lock()
+	r.adapted[auth] = 20
+	r.mu.Unlock()
+	_, cs = r.ecsDecision(auth, "test.example.", q, r.cfg.Now(), false, client, 24)
+	if cs.SourcePrefix != 20 {
+		t.Fatalf("adapted subnet = %v, want /20", cs)
+	}
+	if cs.Addr != ecsopt.MaskAddr(client, 20) {
+		t.Fatalf("adapted subnet %v not masked to /20", cs)
+	}
+	_, cs = r.ecsDecision(other, "test.example.", q, r.cfg.Now(), false, client, 24)
+	if cs.SourcePrefix != 24 {
+		t.Fatalf("adaptation leaked to an unlearned authority: %v", cs)
+	}
+	// A learned scope longer than the source must never widen it.
+	r.mu.Lock()
+	r.adapted[auth] = 28
+	r.mu.Unlock()
+	_, cs = r.ecsDecision(auth, "test.example.", q, r.cfg.Now(), false, client, 24)
+	if cs.SourcePrefix != 24 {
+		t.Fatalf("learned scope /28 widened the source: %v", cs)
+	}
+	// Without the profile flag the learned scope is ignored.
+	r2 := decisionRig(GoogleLikeProfile())
+	r2.mu.Lock()
+	r2.adapted[auth] = 20
+	r2.mu.Unlock()
+	_, cs = r2.ecsDecision(auth, "test.example.", q, r2.cfg.Now(), false, client, 24)
+	if cs.SourcePrefix != 24 {
+		t.Fatalf("non-adaptive profile shed bits: %v", cs)
+	}
+}

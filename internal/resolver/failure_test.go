@@ -7,6 +7,7 @@ import (
 
 	"ecsdns/internal/authority"
 	"ecsdns/internal/dnswire"
+	"ecsdns/internal/netem"
 )
 
 func TestRetriesSurviveInjectedLoss(t *testing.T) {
@@ -110,6 +111,142 @@ func TestNegativeTTLHelper(t *testing.T) {
 	}
 	if got := negativeTTL(nil); got != 30*time.Second {
 		t.Fatalf("negativeTTL fallback = %v", got)
+	}
+}
+
+func TestServeStaleOnUpstreamFailure(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	c := rg.client("London", 9)
+	// Warm the cache, then let the entry expire (zone TTL is 20s).
+	q := dnswire.NewQuery(1, "stale.test.example.", dnswire.TypeA)
+	resp, _, err := rg.net.Exchange(c, rg.res.Addr(), q)
+	if err != nil || resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+		t.Fatalf("warm query failed: %v %v", resp, err)
+	}
+	want := resp.Answers[0].Data
+	rg.net.Clock().Advance(25 * time.Second)
+
+	// Kill the upstream path (the authority only; the client leg stays
+	// clean) and ask again: the resolver must serve the stale answer.
+	rg.net.SetNodeFaults(rg.authAddr, netem.FaultPlan{Loss: 1.0}, 5)
+	resp, _, err = rg.net.Exchange(c, rg.res.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+		t.Fatalf("want stale answer, got %v", resp)
+	}
+	if resp.Answers[0].Data != want {
+		t.Fatalf("stale answer changed: %v vs %v", resp.Answers[0].Data, want)
+	}
+	if resp.Answers[0].TTL != 30 {
+		t.Fatalf("stale TTL = %d, want the RFC 8767 short TTL 30", resp.Answers[0].TTL)
+	}
+	f := rg.res.Failures()
+	if f.ServedStale != 1 || f.UpstreamFailures != 1 || f.UpstreamRetries == 0 {
+		t.Fatalf("failure counters = %+v", f)
+	}
+
+	// An unknown name has no stale entry: that still degrades to
+	// SERVFAIL, explicitly counted.
+	q2 := dnswire.NewQuery(2, "never-seen.test.example.", dnswire.TypeA)
+	resp, _, err = rg.net.Exchange(c, rg.res.Addr(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode = %v for uncached name under total upstream loss", resp.RCode)
+	}
+	if f := rg.res.Failures(); f.ServFailsReturned != 1 {
+		t.Fatalf("failure counters = %+v", f)
+	}
+
+	// Past MaxStale the entry is unusable: SERVFAIL again.
+	rg.net.Clock().Advance(2 * time.Hour)
+	resp, _, err = rg.net.Exchange(c, rg.res.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("entry older than MaxStale served: %v", resp)
+	}
+}
+
+func TestServeStaleDisabled(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	rg.res.cfg.DisableServeStale = true
+	c := rg.client("London", 9)
+	q := dnswire.NewQuery(1, "nostale.test.example.", dnswire.TypeA)
+	if resp, _, err := rg.net.Exchange(c, rg.res.Addr(), q); err != nil || resp.RCode != dnswire.RCodeNoError {
+		t.Fatalf("warm query failed: %v %v", resp, err)
+	}
+	rg.net.Clock().Advance(25 * time.Second)
+	rg.net.SetNodeFaults(rg.authAddr, netem.FaultPlan{Loss: 1.0}, 5)
+	resp, _, err := rg.net.Exchange(c, rg.res.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("stale serving disabled but got %v", resp)
+	}
+}
+
+func TestUpstreamValidationRetries(t *testing.T) {
+	// Injected corruption (ID flip), truncation, and SERVFAIL are each
+	// detected, counted, and retried through; with fault probability
+	// well below certainty the resolver still answers.
+	cases := []struct {
+		name  string
+		plan  netem.FaultPlan
+		check func(f FailureCounters) bool
+	}{
+		{"corrupt", netem.FaultPlan{Corrupt: 0.5}, func(f FailureCounters) bool { return f.UpstreamMismatched > 0 }},
+		{"truncate", netem.FaultPlan{Truncate: 0.5}, func(f FailureCounters) bool { return f.UpstreamTruncated > 0 }},
+		{"servfail", netem.FaultPlan{ServFail: 0.5}, func(f FailureCounters) bool { return f.UpstreamServFails > 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+			rg.res.cfg.Retries = 6
+			rg.net.SetNodeFaults(rg.authAddr, tc.plan, 11)
+			c := rg.client("London", 9)
+			ok := 0
+			for i := 0; i < 10; i++ {
+				name := string(rune('a'+i)) + ".val.test.example."
+				q := dnswire.NewQuery(uint16(i+1), dnswire.MustParseName(name), dnswire.TypeA)
+				resp, _, err := rg.net.Exchange(c, rg.res.Addr(), q)
+				if err == nil && resp.RCode == dnswire.RCodeNoError && len(resp.Answers) == 1 {
+					ok++
+				}
+			}
+			if ok < 8 {
+				t.Fatalf("only %d/10 resolved under 50%% %s injection with retries", ok, tc.name)
+			}
+			f := rg.res.Failures()
+			if !tc.check(f) {
+				t.Fatalf("failure class not counted: %+v", f)
+			}
+			if f.UpstreamRetries == 0 {
+				t.Fatalf("no retries recorded: %+v", f)
+			}
+		})
+	}
+}
+
+func TestRetryBackoffAdvancesClock(t *testing.T) {
+	rg := newRig(t, GoogleLikeProfile(), authority.ScopeFixed(24))
+	rg.res.cfg.Backoff = 100 * time.Millisecond
+	rg.res.cfg.Sleep = rg.net.Clock().Advance
+	rg.net.SetNodeFaults(rg.authAddr, netem.FaultPlan{Loss: 1.0, LossTimeout: time.Millisecond}, 5)
+	before := rg.net.Clock().Now()
+	q := dnswire.NewQuery(1, "backoff.test.example.", dnswire.TypeA)
+	if _, _, err := rg.net.Exchange(rg.client("London", 9), rg.res.Addr(), q); err != nil {
+		t.Fatal(err)
+	}
+	// Default 2 retries wait 100ms then 200ms on top of the per-attempt
+	// loss timeouts and the client-leg RTT.
+	if got := rg.net.Clock().Now().Sub(before); got < 300*time.Millisecond {
+		t.Fatalf("clock advanced %v; backoff waits not applied", got)
 	}
 }
 

@@ -6,6 +6,7 @@
 package resolver
 
 import (
+	"errors"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -77,8 +78,50 @@ type Config struct {
 	// Seed drives the resolver's private randomness (IDs, ProbeRandom).
 	Seed int64
 	// Retries is the number of additional upstream attempts after a
-	// lost or dropped query (default 2).
+	// lost, dropped, truncated, corrupted, or SERVFAIL-answered query
+	// (default 2; negative disables retries).
 	Retries int
+	// Backoff is the base wait before each retry, doubling per attempt
+	// (default none). Waiting happens through Sleep.
+	Backoff time.Duration
+	// Sleep advances time during retry backoff; simulations pass the
+	// virtual clock's Advance. Nil means retries do not wait.
+	Sleep func(time.Duration)
+	// DisableServeStale turns off the RFC 8767-style degradation of
+	// serving an expired-but-recent cached answer when every upstream
+	// retry fails. The default (stale serving on) means SERVFAIL goes
+	// to clients only when the cache has nothing usable either.
+	DisableServeStale bool
+	// MaxStale bounds how long past expiry an entry remains servable as
+	// stale (default 1 hour).
+	MaxStale time.Duration
+}
+
+// staleTTL is the TTL stamped on records served stale, per the RFC 8767
+// recommendation that stale answers carry a short positive TTL.
+const staleTTL = 30
+
+// FailureCounters tracks how the resolver behaved under upstream
+// failure; experiments and the chaos harness read it to verify that no
+// query outcome goes unaccounted.
+type FailureCounters struct {
+	// UpstreamRetries counts re-attempts after a failed upstream
+	// exchange.
+	UpstreamRetries int64
+	// UpstreamFailures counts resolutions that exhausted every attempt.
+	UpstreamFailures int64
+	// UpstreamTruncated / UpstreamMismatched / UpstreamServFails break
+	// failed attempts down by cause (truncated response, transaction-ID
+	// mismatch, SERVFAIL answer).
+	UpstreamTruncated  int64
+	UpstreamMismatched int64
+	UpstreamServFails  int64
+	// ServedStale counts client answers served from expired cache
+	// entries after upstream failure.
+	ServedStale int64
+	// ServFailsReturned counts SERVFAIL answers sent to clients because
+	// upstream failed and no stale entry was usable.
+	ServFailsReturned int64
 }
 
 // Resolver is an egress recursive resolver.
@@ -96,6 +139,7 @@ type Resolver struct {
 	// Upstream counters let experiments measure query amplification.
 	upstreamQueries int64
 	clientQueries   int64
+	failures        FailureCounters
 }
 
 // New creates a resolver from cfg.
@@ -129,6 +173,13 @@ func (r *Resolver) Counters() (client, upstream int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.clientQueries, r.upstreamQueries
+}
+
+// Failures returns a snapshot of the failure-path counters.
+func (r *Resolver) Failures() FailureCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failures
 }
 
 // HandleDNS serves one client query: cache, ECS policy, upstream
@@ -202,20 +253,9 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 		} else {
 			up.EDNS = dnswire.NewEDNS()
 		}
-		var upResp *dnswire.Message
-		var err error
-		for attempt := 0; attempt <= r.retries(); attempt++ {
-			r.mu.Lock()
-			r.upstreamQueries++
-			r.mu.Unlock()
-			upResp, _, err = r.cfg.Transport.Exchange(r.cfg.Addr, authAddr, up)
-			if err == nil && upResp != nil {
-				break
-			}
-		}
+		upResp, err := r.exchangeUpstream(authAddr, up)
 		if err != nil || upResp == nil {
-			resp.RCode = dnswire.RCodeServFail
-			return resp
+			return r.answerFailure(resp, key, clientAddr, clientBits, query, now)
 		}
 		// Extract the authoritative scope, leniently: misbehaving
 		// servers are part of the ecosystem under test.
@@ -285,6 +325,97 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 		}
 	}
 	return resp
+}
+
+// Upstream-attempt failures beyond transport errors.
+var (
+	errUpstreamDropped   = errors.New("resolver: upstream returned no response")
+	errUpstreamMismatch  = errors.New("resolver: upstream transaction ID mismatch")
+	errUpstreamTruncated = errors.New("resolver: upstream response truncated")
+	errUpstreamServFail  = errors.New("resolver: upstream answered SERVFAIL")
+)
+
+// exchangeUpstream sends one upstream query with bounded
+// retry-with-backoff, treating transport errors, missing or corrupted
+// (ID-mismatched) responses, truncation, and SERVFAIL answers as
+// retryable failures. Waits double per attempt and pass through
+// cfg.Sleep so simulated time advances.
+func (r *Resolver) exchangeUpstream(authAddr netip.Addr, up *dnswire.Message) (*dnswire.Message, error) {
+	backoff := r.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= r.retries(); attempt++ {
+		if attempt > 0 {
+			r.mu.Lock()
+			r.failures.UpstreamRetries++
+			r.mu.Unlock()
+			if r.cfg.Sleep != nil && backoff > 0 {
+				r.cfg.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+		r.mu.Lock()
+		r.upstreamQueries++
+		r.mu.Unlock()
+		upResp, _, err := r.cfg.Transport.Exchange(r.cfg.Addr, authAddr, up)
+		switch {
+		case err != nil:
+			lastErr = err
+		case upResp == nil:
+			lastErr = errUpstreamDropped
+		case upResp.ID != up.ID:
+			r.countFailure(func(f *FailureCounters) { f.UpstreamMismatched++ })
+			lastErr = errUpstreamMismatch
+		case upResp.Truncated:
+			r.countFailure(func(f *FailureCounters) { f.UpstreamTruncated++ })
+			lastErr = errUpstreamTruncated
+		case upResp.RCode == dnswire.RCodeServFail:
+			r.countFailure(func(f *FailureCounters) { f.UpstreamServFails++ })
+			lastErr = errUpstreamServFail
+		default:
+			return upResp, nil
+		}
+	}
+	r.countFailure(func(f *FailureCounters) { f.UpstreamFailures++ })
+	return nil, lastErr
+}
+
+func (r *Resolver) countFailure(bump func(*FailureCounters)) {
+	r.mu.Lock()
+	bump(&r.failures)
+	r.mu.Unlock()
+}
+
+// answerFailure handles an exhausted upstream resolution: serve a
+// stale-but-valid cached answer when allowed and available (RFC 8767),
+// otherwise degrade to SERVFAIL.
+func (r *Resolver) answerFailure(resp *dnswire.Message, key ecscache.Key, clientAddr netip.Addr, clientBits int, query *dnswire.Message, now time.Time) *dnswire.Message {
+	if !r.cfg.DisableServeStale {
+		if e, ok := r.cache.LookupStale(key, clientAddr, now, r.maxStale()); ok {
+			r.countFailure(func(f *FailureCounters) { f.ServedStale++ })
+			resp.RCode = e.RCode
+			resp.Answers = adjustTTL(e.Answer, staleTTL)
+			resp.Authorities = adjustTTL(e.Authority, staleTTL)
+			if query.EDNS != nil {
+				resp.EDNS = dnswire.NewEDNS()
+				if e.HasECS {
+					if echo, err := ecsopt.New(clientAddr, clientBits); err == nil {
+						ecsopt.Attach(resp, echo.WithScope(int(e.Subnet.ScopePrefix)))
+					}
+				}
+			}
+			return resp
+		}
+	}
+	r.countFailure(func(f *FailureCounters) { f.ServFailsReturned++ })
+	resp.RCode = dnswire.RCodeServFail
+	return resp
+}
+
+func (r *Resolver) maxStale() time.Duration {
+	if r.cfg.MaxStale > 0 {
+		return r.cfg.MaxStale
+	}
+	return time.Hour
 }
 
 // clientIdentity derives (address, prefix bits, clientSuppliedECS) for an

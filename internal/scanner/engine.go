@@ -130,11 +130,26 @@ func (l *RateLimiter) Wait(ctx context.Context) error {
 	}
 }
 
-// Progress holds live campaign counters, safe for concurrent use.
+// Progress holds live campaign counters, safe for concurrent use. The
+// failure-class counters (timeouts, truncations, mismatches) break the
+// per-target outcomes down so a campaign under induced loss can prove
+// that every probe is accounted for.
 type Progress struct {
-	start             time.Time
+	start              time.Time
 	sent, done, errors atomic.Int64
+
+	timeouts, truncated, mismatched atomic.Int64
 }
+
+// CountTimeout records a probe that timed out (or was lost in transit).
+func (p *Progress) CountTimeout() { p.timeouts.Add(1) }
+
+// CountTruncated records a probe answered with a truncated response.
+func (p *Progress) CountTruncated() { p.truncated.Add(1) }
+
+// CountMismatch records a probe answered by a response that failed
+// ID/question validation (spoofed, crossed, or corrupted).
+func (p *Progress) CountMismatch() { p.mismatched.Add(1) }
 
 // NewProgress starts the campaign clock.
 func NewProgress() *Progress {
@@ -149,6 +164,11 @@ type ProgressSnapshot struct {
 	Done int64
 	// Errors is how many finished with an error.
 	Errors int64
+	// Timeouts, Truncated and Mismatched classify failed probes:
+	// deadline/loss, truncated responses, and validation failures.
+	Timeouts   int64
+	Truncated  int64
+	Mismatched int64
 	// Elapsed is the time since NewProgress.
 	Elapsed time.Duration
 	// QPS is Sent/Elapsed, the observed throughput.
@@ -158,10 +178,13 @@ type ProgressSnapshot struct {
 // Snapshot reads the counters.
 func (p *Progress) Snapshot() ProgressSnapshot {
 	s := ProgressSnapshot{
-		Sent:    p.sent.Load(),
-		Done:    p.done.Load(),
-		Errors:  p.errors.Load(),
-		Elapsed: time.Since(p.start),
+		Sent:       p.sent.Load(),
+		Done:       p.done.Load(),
+		Errors:     p.errors.Load(),
+		Timeouts:   p.timeouts.Load(),
+		Truncated:  p.truncated.Load(),
+		Mismatched: p.mismatched.Load(),
+		Elapsed:    time.Since(p.start),
 	}
 	if s.Elapsed > 0 {
 		s.QPS = float64(s.Sent) / s.Elapsed.Seconds()

@@ -8,8 +8,10 @@ package scanner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/netip"
 	"sort"
 	"strconv"
@@ -18,8 +20,10 @@ import (
 	"time"
 
 	"ecsdns/internal/authority"
+	"ecsdns/internal/dnsclient"
 	"ecsdns/internal/dnswire"
 	"ecsdns/internal/ecsopt"
+	"ecsdns/internal/netem"
 )
 
 // EncodeProbeName embeds the probed ingress address into a hostname
@@ -114,6 +118,9 @@ type Scan struct {
 	Timeout time.Duration
 	// Progress, when non-nil, receives live sent/done/error counters.
 	Progress *Progress
+	// Seed drives probe transaction IDs; 0 seeds from the wall clock.
+	// Chaos and replay harnesses set it for reproducible campaigns.
+	Seed int64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -127,7 +134,11 @@ func (s *Scan) randID() uint16 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		seed := s.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		s.rng = rand.New(rand.NewSource(seed))
 	}
 	return uint16(s.rng.Intn(1 << 16))
 }
@@ -173,10 +184,22 @@ func (s *Scan) RunContext(ctx context.Context, ingresses []netip.Addr, logs *Log
 		q := dnswire.NewQuery(s.randID(), EncodeProbeName(ing, s.Zone), dnswire.TypeA)
 		resp, err := exchange(ctx, ing, q)
 		if err != nil || resp == nil {
+			if s.Progress != nil && isTimeoutErr(err) {
+				s.Progress.CountTimeout()
+			}
+			if err == nil {
+				err = fmt.Errorf("scanner: empty response from %s", ing)
+			}
 			return err
+		}
+		if resp.Truncated && s.Progress != nil {
+			s.Progress.CountTruncated()
 		}
 		if !resp.Response || resp.ID != q.ID ||
 			len(resp.Questions) == 0 || resp.Questions[0] != q.Questions[0] {
+			if s.Progress != nil {
+				s.Progress.CountMismatch()
+			}
 			return fmt.Errorf("scanner: invalid response from %s", ing)
 		}
 		if resp.RCode == dnswire.RCodeNoError && len(resp.Answers) > 0 {
@@ -225,6 +248,22 @@ func (s *Scan) RunContext(ctx context.Context, ingresses []netip.Addr, logs *Log
 		}
 	}
 	return res, runErr
+}
+
+// isTimeoutErr classifies a probe failure as a timeout: a context
+// deadline, a transport-reported timeout (dnsclient.ErrTimeout or any
+// net.Error timeout), or an in-transit loss on the simulated fabric.
+func isTimeoutErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, dnsclient.ErrTimeout) ||
+		errors.Is(err, netem.ErrLost) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func containsAddr(s []netip.Addr, a netip.Addr) bool {

@@ -1,0 +1,29 @@
+#!/bin/sh
+# verify.sh — the full tier-1 gate plus fuzz smoke tests.
+#
+#   ./verify.sh           run everything (~2 min: race suite + 3×10s fuzz)
+#   FUZZTIME=30s ./verify.sh   longer fuzz smokes
+#
+# Exits non-zero on the first failure.
+set -eu
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== fuzz smoke tests (${FUZZTIME} each)"
+go test -fuzz FuzzUnpack    -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
+go test -fuzz FuzzNameParse -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
+go test -fuzz FuzzDecode    -fuzztime "$FUZZTIME" -run NONE ./internal/ecsopt
+
+echo "verify: all green"
