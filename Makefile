@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz verify experiments
+.PHONY: build test race vet lint fuzz verify experiments
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,18 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: formatting, vet, and the project-specific ecslint
+# checks (determinism, wire-safety, concurrency invariants).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: files need formatting:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/ecslint ./...
 
 fuzz:
 	$(GO) test -fuzz FuzzUnpack    -fuzztime $(FUZZTIME) -run NONE ./internal/dnswire

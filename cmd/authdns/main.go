@@ -42,6 +42,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-query logging")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		log.Fatalf("authdns: unexpected arguments %q", flag.Args())
+	}
 	origin, err := dnswire.ParseName(*zoneName)
 	if err != nil {
 		log.Fatalf("authdns: bad zone: %v", err)
@@ -58,7 +61,7 @@ func main() {
 	srv := authority.NewServer(authority.Config{
 		ECSEnabled: true,
 		Scope:      scope,
-		Now:        time.Now,
+		Now:        time.Now, //ecslint:ignore wallclock live server: TTLs age on the real clock
 	})
 	var zone *authority.Zone
 	if *zoneFile != "" {

@@ -35,6 +35,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "ecslab: -scale must be positive, got %v\n", *scale)
+		os.Exit(2)
+	}
 	if _, err := netem.ParseFaultPlan(*faults); err != nil {
 		fmt.Fprintf(os.Stderr, "ecslab: -faults: %v\n", err)
 		os.Exit(2)

@@ -26,6 +26,13 @@ func main() {
 	capacity := flag.Int("capacity", 0, "also replay through a bounded LRU of this many entries")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		log.Fatalf("ecsreplay: unexpected arguments %q (the trace path goes in -in)", flag.Args())
+	}
+	if *capacity < 0 {
+		log.Fatalf("ecsreplay: -capacity must be >= 0, got %d", *capacity)
+	}
+
 	var r io.Reader = os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)

@@ -46,6 +46,18 @@ func main() {
 	rate := flag.Float64("rate", 0, "bulk mode: max queries/sec (0 = unlimited)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		log.Fatalf("ecsscan: unexpected arguments %q (targets go in -targets)", flag.Args())
+	}
+	if *timeout <= 0 {
+		log.Fatalf("ecsscan: -timeout must be positive, got %v", *timeout)
+	}
+	if *concurrency <= 0 {
+		log.Fatalf("ecsscan: -concurrency must be positive, got %d", *concurrency)
+	}
+	if *rate < 0 {
+		log.Fatalf("ecsscan: -rate must be >= 0, got %v", *rate)
+	}
 	base, err := dnswire.ParseName(*nameStr)
 	if err != nil {
 		log.Fatalf("ecsscan: bad name: %v", err)
@@ -128,7 +140,7 @@ func bulkScan(targetsArg string, base dnswire.Name, concurrency int, rate float6
 		}
 		q := dnswire.NewQuery(0, name, dnswire.TypeA) // the pipeline owns IDs
 		q.EDNS = dnswire.NewEDNS()
-		start := time.Now()
+		start := time.Now() //ecslint:ignore wallclock measures real probe RTT
 		resp, err := pipe.Exchange(ctx, targets[i], q)
 		if err != nil {
 			results[i] = fmt.Sprintf("%-24s unreachable: %v", targets[i], err)

@@ -39,7 +39,7 @@ type socketTransport struct {
 }
 
 func (t *socketTransport) Exchange(_, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
-	start := time.Now()
+	start := time.Now() //ecslint:ignore wallclock measures real upstream RTT
 	resp, err := t.client.Exchange(t.upstream, q)
 	return resp, time.Since(start), err
 }
@@ -51,6 +51,9 @@ func main() {
 	profileName := flag.String("profile", "compliant", "ECS behavior profile")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		log.Fatalf("recursor: unexpected arguments %q", flag.Args())
+	}
 	zone, err := dnswire.ParseName(*zoneName)
 	if err != nil {
 		log.Fatalf("recursor: bad zone: %v", err)
@@ -80,10 +83,10 @@ func main() {
 	res := resolver.New(resolver.Config{
 		Addr:      selfAddr,
 		Transport: &socketTransport{client: &dnsclient.Client{}, upstream: *upstream},
-		Now:       time.Now,
+		Now:       time.Now, //ecslint:ignore wallclock live server: cache ages on the real clock
 		Directory: dir,
 		Profile:   profile,
-		Seed:      time.Now().UnixNano(),
+		Seed:      time.Now().UnixNano(), //ecslint:ignore wallclock live server wants unpredictable IDs, not replay
 	})
 
 	srv := dnsserver.New(res)

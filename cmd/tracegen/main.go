@@ -25,8 +25,14 @@ func main() {
 	resolvers := flag.Int("resolvers", 0, "publiccdn: number of egress resolvers (0 = default)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		log.Fatalf("tracegen: unexpected arguments %q", flag.Args())
+	}
+	if *queries < 0 || *resolvers < 0 {
+		log.Fatalf("tracegen: -queries and -resolvers must be >= 0")
+	}
+
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
 
 	switch *dataset {
 	case "allnames":
@@ -37,6 +43,9 @@ func main() {
 		}
 		tr := traces.GenerateAllNames(cfg)
 		if err := traces.WriteRecords(out, tr.Records); err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
+		if err := out.Flush(); err != nil {
 			log.Fatalf("tracegen: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "tracegen: %d records, %d clients\n", len(tr.Records), len(tr.Clients))
@@ -52,6 +61,9 @@ func main() {
 				log.Fatalf("tracegen: %v", err)
 			}
 			total += len(tr.Records)
+		}
+		if err := out.Flush(); err != nil {
+			log.Fatalf("tracegen: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "tracegen: %d records across %d resolvers\n", total, cfg.Resolvers)
 	default:

@@ -24,7 +24,7 @@ type socketTransport struct {
 }
 
 func (t *socketTransport) Exchange(_, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
-	start := time.Now()
+	start := time.Now() //ecslint:ignore wallclock live-wire demo: measures real RTT
 	resp, err := t.client.Exchange(t.upstream, q)
 	return resp, time.Since(start), err
 }
@@ -35,7 +35,7 @@ func main() {
 	auth := authority.NewServer(authority.Config{
 		ECSEnabled: true,
 		Scope:      authority.ScopeSourceMinus(4),
-		Now:        time.Now,
+		Now:        time.Now, //ecslint:ignore wallclock live-wire demo runs on the real clock
 	})
 	zone := authority.NewZone("live.example.", 30)
 	zone.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.80")})
@@ -54,7 +54,7 @@ func main() {
 	res := resolver.New(resolver.Config{
 		Addr:      netip.MustParseAddr("127.0.0.1"),
 		Transport: &socketTransport{client: &dnsclient.Client{}, upstream: authBound.String()},
-		Now:       time.Now,
+		Now:       time.Now, //ecslint:ignore wallclock live-wire demo runs on the real clock
 		Directory: dir,
 		Profile:   resolver.CompliantProfile(),
 		Seed:      1,

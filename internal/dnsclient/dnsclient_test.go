@@ -3,6 +3,7 @@ package dnsclient
 import (
 	"net"
 	"net/netip"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -202,7 +203,10 @@ func TestUDPAttemptCounts(t *testing.T) {
 			t.Fatal(err)
 		}
 		var count atomic.Int32
+		var reader sync.WaitGroup
+		reader.Add(1)
 		go func() {
+			defer reader.Done()
 			buf := make([]byte, 2048)
 			for {
 				if _, _, err := pc.ReadFrom(buf); err != nil {
@@ -221,5 +225,6 @@ func TestUDPAttemptCounts(t *testing.T) {
 			t.Errorf("Retries=%d: %d UDP attempts, want %d", tc.retries, got, tc.want)
 		}
 		pc.Close()
+		reader.Wait()
 	}
 }

@@ -2,7 +2,6 @@ package dnsclient
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -292,7 +291,7 @@ func (p *Pipeline) attempt(ctx context.Context, raddr *net.UDPAddr, dest string,
 	}
 	defer p.unregister(dest, id, question)
 	q.ID = id
-	binary.BigEndian.PutUint16(data, id)
+	dnswire.PatchID(data, id)
 	pc := p.conns[p.next.Add(1)%uint64(len(p.conns))]
 	if _, err := pc.WriteTo(data, raddr); err != nil {
 		return nil, err

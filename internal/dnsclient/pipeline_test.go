@@ -212,10 +212,8 @@ func TestPipelineContextCancel(t *testing.T) {
 	addr := startPipelineServer(t, h)
 	p := newTestPipeline(t, PipelineConfig{Sockets: 1, Timeout: 5 * time.Second})
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(50 * time.Millisecond)
-		cancel()
-	}()
+	stop := time.AfterFunc(50*time.Millisecond, cancel)
+	defer stop.Stop()
 	start := time.Now()
 	_, err := p.Exchange(ctx, addr, pipeQuery("cancel.pipe.test."))
 	if err != context.Canceled {

@@ -207,11 +207,12 @@ func (s *Server) dispatch(from netip.Addr, pkt []byte) (resp, query *dnswire.Mes
 	if err != nil {
 		// Answer FORMERR when at least the header parsed; drop
 		// otherwise.
-		if len(pkt) < 12 {
+		id, ok := dnswire.PeekID(pkt)
+		if !ok {
 			return nil, nil
 		}
 		resp := &dnswire.Message{}
-		resp.ID = binary.BigEndian.Uint16(pkt)
+		resp.ID = id
 		resp.Response = true
 		resp.RCode = dnswire.RCodeFormErr
 		return resp, nil

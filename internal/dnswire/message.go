@@ -174,6 +174,32 @@ func packRR(b *builder, rr RR, compress bool) error {
 	return nil
 }
 
+// PeekID reads the transaction ID from a packed message without a full
+// Unpack, for transports that must answer or demux on packets that may
+// not parse past the header. ok is false when the packet is shorter
+// than a DNS header.
+func PeekID(wire []byte) (id uint16, ok bool) {
+	if len(wire) < headerLen {
+		return 0, false
+	}
+	return uint16(wire[0])<<8 | uint16(wire[1]), true
+}
+
+// PatchID rewrites the transaction ID of a packed message in place, so
+// a transport can re-send one packed query under fresh IDs without
+// re-packing. It reports whether the packet was long enough to patch.
+func PatchID(wire []byte, id uint16) bool {
+	if len(wire) < headerLen {
+		return false
+	}
+	wire[0] = uint8(id >> 8)
+	wire[1] = uint8(id)
+	return true
+}
+
+// headerLen is the fixed DNS header size (RFC 1035 §4.1.1).
+const headerLen = 12
+
 // Unpack decodes a wire-format DNS message.
 func Unpack(data []byte) (*Message, error) {
 	p := &parser{msg: data}

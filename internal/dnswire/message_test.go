@@ -39,6 +39,7 @@ func sampleResponse() *Message {
 }
 
 func TestMessageRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := sampleResponse()
 	data, err := m.Pack()
 	if err != nil {
@@ -54,6 +55,7 @@ func TestMessageRoundTrip(t *testing.T) {
 }
 
 func TestQueryRoundTrip(t *testing.T) {
+	t.Parallel()
 	q := NewQuery(7, MustParseName("probe-1-2-3-4.scan.example.org"), TypeAAAA)
 	data, err := q.Pack()
 	if err != nil {
@@ -72,6 +74,7 @@ func TestQueryRoundTrip(t *testing.T) {
 }
 
 func TestCompressionShrinksMessages(t *testing.T) {
+	t.Parallel()
 	m := sampleResponse()
 	packed, err := m.Pack()
 	if err != nil {
@@ -99,6 +102,7 @@ func TestCompressionShrinksMessages(t *testing.T) {
 }
 
 func TestAllRDataTypesRoundTrip(t *testing.T) {
+	t.Parallel()
 	rrs := []RR{
 		{Name: "a.example.", Class: ClassINET, TTL: 1, Data: ARData{Addr: netip.MustParseAddr("10.1.2.3")}},
 		{Name: "aaaa.example.", Class: ClassINET, TTL: 2, Data: AAAARData{Addr: netip.MustParseAddr("2001:db8::1")}},
@@ -128,6 +132,7 @@ func TestAllRDataTypesRoundTrip(t *testing.T) {
 }
 
 func TestHeaderFlagsRoundTrip(t *testing.T) {
+	t.Parallel()
 	check := func(h Header) bool {
 		h.OpCode &= 0xF
 		h.RCode &= 0xF // without EDNS only 4 bits travel
@@ -148,6 +153,7 @@ func TestHeaderFlagsRoundTrip(t *testing.T) {
 }
 
 func TestExtendedRCodeViaEDNS(t *testing.T) {
+	t.Parallel()
 	m := &Message{Header: Header{ID: 9, Response: true, RCode: RCodeBadVers}}
 	m.EDNS = NewEDNS()
 	data, err := m.Pack()
@@ -167,6 +173,7 @@ func TestExtendedRCodeViaEDNS(t *testing.T) {
 }
 
 func TestEDNSOptionsRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := NewQuery(3, "example.com.", TypeA)
 	m.EDNS = NewEDNS()
 	m.EDNS.DO = true
@@ -193,6 +200,7 @@ func TestEDNSOptionsRoundTrip(t *testing.T) {
 }
 
 func TestEDNSSetAndRemoveOption(t *testing.T) {
+	t.Parallel()
 	e := NewEDNS()
 	e.SetOption(Option{Code: 8, Data: []byte{1}})
 	e.SetOption(Option{Code: 8, Data: []byte{2}})
@@ -208,6 +216,7 @@ func TestEDNSSetAndRemoveOption(t *testing.T) {
 }
 
 func TestUnpackRejectsMalformed(t *testing.T) {
+	t.Parallel()
 	valid, err := sampleResponse().Pack()
 	if err != nil {
 		t.Fatal(err)
@@ -227,6 +236,7 @@ func TestUnpackRejectsMalformed(t *testing.T) {
 }
 
 func TestUnpackRejectsCountBomb(t *testing.T) {
+	t.Parallel()
 	// Header claiming 65535 answers with no body.
 	hdr := []byte{0, 1, 0x80, 0, 0, 0, 0xFF, 0xFF, 0, 0, 0, 0}
 	if _, err := Unpack(hdr); err != ErrTooManyRRs {
@@ -235,6 +245,7 @@ func TestUnpackRejectsCountBomb(t *testing.T) {
 }
 
 func TestUnpackRejectsPointerLoop(t *testing.T) {
+	t.Parallel()
 	// A question name that is a pointer to itself at offset 12.
 	msg := []byte{
 		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
@@ -247,6 +258,7 @@ func TestUnpackRejectsPointerLoop(t *testing.T) {
 }
 
 func TestUnpackRejectsForwardPointer(t *testing.T) {
+	t.Parallel()
 	msg := []byte{
 		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
 		0xC0, 14, // forward pointer
@@ -258,6 +270,7 @@ func TestUnpackRejectsForwardPointer(t *testing.T) {
 }
 
 func TestUnpackCaseFolds(t *testing.T) {
+	t.Parallel()
 	m := NewQuery(1, "example.com.", TypeA)
 	data, err := m.Pack()
 	if err != nil {
@@ -278,6 +291,7 @@ func TestUnpackCaseFolds(t *testing.T) {
 }
 
 func TestTruncateTo(t *testing.T) {
+	t.Parallel()
 	m := sampleResponse()
 	for i := 0; i < 40; i++ {
 		m.Answers = append(m.Answers, RR{
@@ -305,6 +319,7 @@ func TestTruncateTo(t *testing.T) {
 }
 
 func TestTruncateToNoOpWhenSmall(t *testing.T) {
+	t.Parallel()
 	m := sampleResponse()
 	data, err := m.TruncateTo(512)
 	if err != nil {
@@ -320,6 +335,7 @@ func TestTruncateToNoOpWhenSmall(t *testing.T) {
 }
 
 func TestUnpackFuzzDoesNotPanic(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(42))
 	valid, err := sampleResponse().Pack()
 	if err != nil {
@@ -343,6 +359,7 @@ func TestUnpackFuzzDoesNotPanic(t *testing.T) {
 }
 
 func TestMessageStringSmoke(t *testing.T) {
+	t.Parallel()
 	m := sampleResponse()
 	m.EDNS = NewEDNS()
 	s := m.String()
@@ -354,6 +371,7 @@ func TestMessageStringSmoke(t *testing.T) {
 }
 
 func TestTypeClassRCodeStrings(t *testing.T) {
+	t.Parallel()
 	if TypeA.String() != "A" || Type(4242).String() != "TYPE4242" {
 		t.Error("Type.String misbehaves")
 	}
@@ -365,5 +383,62 @@ func TestTypeClassRCodeStrings(t *testing.T) {
 	}
 	if OpQuery.String() != "QUERY" || OpCode(7).String() != "OPCODE7" {
 		t.Error("OpCode.String misbehaves")
+	}
+}
+
+func TestPeekPatchID(t *testing.T) {
+	t.Parallel()
+	msg := sampleResponse()
+	msg.Header.ID = 0xBEEF
+	wire, err := msg.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := PeekID(wire)
+	if !ok || id != 0xBEEF {
+		t.Fatalf("PeekID = %#x, %v; want 0xbeef, true", id, ok)
+	}
+	if !PatchID(wire, 0x1234) {
+		t.Fatal("PatchID rejected a full message")
+	}
+	if id, _ := PeekID(wire); id != 0x1234 {
+		t.Fatalf("after PatchID, PeekID = %#x, want 0x1234", id)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatalf("patched message no longer unpacks: %v", err)
+	}
+	if got.Header.ID != 0x1234 {
+		t.Fatalf("unpacked ID = %#x, want 0x1234", got.Header.ID)
+	}
+
+	// Both reject buffers shorter than a DNS header.
+	short := make([]byte, 11)
+	if _, ok := PeekID(short); ok {
+		t.Error("PeekID accepted a truncated header")
+	}
+	if PatchID(short, 1) {
+		t.Error("PatchID accepted a truncated header")
+	}
+}
+
+func TestUnpackRejectsBadLabelBytes(t *testing.T) {
+	t.Parallel()
+	// A '.' or control byte inside a wire label has no unambiguous
+	// presentation form, so the decoder must reject it (fuzz-found: such
+	// names re-encoded as different labels and broke the repack round
+	// trip).
+	header := []byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0}
+	for _, label := range [][]byte{
+		{3, 'a', '.', 'b'},
+		{3, 'a', 0x1f, 'b'},
+		{3, 'a', ' ', 'b'},
+		{3, 'a', 127, 'b'},
+	} {
+		wire := append(append(append([]byte{}, header...), label...),
+			0, 0, 1, 0, 1) // root, qtype A, qclass IN
+		if _, err := Unpack(wire); err == nil {
+			t.Errorf("Unpack accepted label % x", label)
+		}
 	}
 }

@@ -177,6 +177,15 @@ func decodeNameAt(msg []byte, off int) (Name, int, error) {
 			if totalLen > MaxNameLen {
 				return "", 0, ErrNameTooLong
 			}
+			// Enforce the same label charset as ParseName: a '.' inside a
+			// wire label would be indistinguishable from a separator in the
+			// presentation form (so the name would re-encode as different
+			// labels), and whitespace/control bytes are excluded to match.
+			for _, b := range msg[off+1 : off+1+l] {
+				if b == '.' || b <= ' ' || b == 127 {
+					return "", 0, ErrBadLabelChar
+				}
+			}
 			sb.Write(msg[off+1 : off+1+l])
 			sb.WriteByte('.')
 			off += 1 + l

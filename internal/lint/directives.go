@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignoreDirective is one parsed //ecslint:ignore comment. Checks is the
+// set of check names it suppresses; Line is the source line the
+// suppression applies to (the comment's own line, or the next line when
+// the comment stands alone).
+//
+// Syntax:
+//
+//	//ecslint:ignore <check>[,<check>...] <justification>
+//
+// A justification is required: a directive without one is itself
+// reported, so every suppression carries its reason in the source.
+type ignoreDirective struct {
+	file    string
+	line    int
+	checks  map[string]bool
+	hasWhy  bool
+	comment *ast.Comment
+}
+
+const ignorePrefix = "//ecslint:ignore"
+
+// parseIgnores extracts the ignore directives from one parsed file.
+// src is the file's raw bytes, used to decide whether a directive stands
+// alone on its line (in which case it suppresses the following line).
+func parseIgnores(pkg *Package, f *ast.File, src []byte) []ignoreDirective {
+	var out []ignoreDirective
+	lines := strings.Split(string(src), "\n")
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //ecslint:ignorexyz — not ours
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue // malformed; reported by checkDirective
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			d := ignoreDirective{
+				file:    pos.Filename,
+				line:    pos.Line,
+				checks:  make(map[string]bool),
+				hasWhy:  len(fields) > 1,
+				comment: c,
+			}
+			for _, name := range strings.Split(fields[0], ",") {
+				if name != "" {
+					d.checks[name] = true
+				}
+			}
+			// A directive alone on its line suppresses the next line —
+			// the annotated statement sits below the comment.
+			if pos.Line-1 < len(lines) {
+				before := lines[pos.Line-1]
+				if pos.Column-1 <= len(before) && strings.TrimSpace(before[:pos.Column-1]) == "" {
+					d.line = pos.Line + 1
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applyIgnores drops findings suppressed by a matching directive on
+// their exact line, and reports malformed directives (no justification,
+// or naming an unknown check) so annotations stay honest.
+func applyIgnores(pkgs []*Package, findings []Finding) []Finding {
+	type key struct {
+		file string
+		line int
+	}
+	ignores := make(map[key]map[string]bool)
+	known := make(map[string]bool)
+	for _, c := range AllChecks() {
+		known[c.Name] = true
+	}
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			for _, d := range parseIgnores(pkg, f, pkg.Sources[i]) {
+				pos := pkg.Fset.Position(d.comment.Pos())
+				file := relToModule(pkg.ModuleDir, d.file)
+				if !d.hasWhy {
+					findings = append(findings, Finding{
+						File: file, Line: pos.Line, Col: pos.Column,
+						Check: "directive",
+						Msg:   "ecslint:ignore needs a justification: //ecslint:ignore <check> <why>",
+					})
+				}
+				for name := range d.checks {
+					if !known[name] {
+						findings = append(findings, Finding{
+							File: file, Line: pos.Line, Col: pos.Column,
+							Check: "directive",
+							Msg:   "ecslint:ignore names unknown check " + name,
+						})
+						continue
+					}
+					k := key{file: file, line: d.line}
+					if ignores[k] == nil {
+						ignores[k] = make(map[string]bool)
+					}
+					ignores[k][name] = true
+				}
+			}
+		}
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if ignores[key{file: f.File, line: f.Line}][f.Check] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

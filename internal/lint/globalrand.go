@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalrandCheck bans math/rand's package-level convenience functions
+// (which draw from the unseeded, process-global source) outside test
+// files. Every random decision on a simulated or measurement path must
+// come from a seeded *rand.Rand so a campaign's Seed fully determines
+// its behavior. Constructors (rand.New, rand.NewSource, rand.NewZipf)
+// are exactly how seeded instances are built and stay legal.
+var globalrandCheck = Check{
+	Name: "globalrand",
+	Doc:  "math/rand top-level functions use the global source; use a seeded *rand.Rand",
+	Run:  runGlobalrand,
+}
+
+// bannedRandFuncs are the top-level functions backed by the global
+// source. Methods on *rand.Rand have the same names but are allowed
+// (distinguished by their receiver).
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runGlobalrand(ctx *Context) {
+	for _, f := range ctx.Pkg.Files {
+		if ctx.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := ctx.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || !isPkgFunc(obj, "math/rand") || !bannedRandFuncs[obj.Name()] {
+				return true
+			}
+			ctx.Reportf(sel.Pos(),
+				"rand.%s draws from the global source; use a seeded *rand.Rand instance",
+				obj.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// mutexholdCheck flags blocking operations executed while a sync.Mutex
+// or sync.RWMutex is held: channel sends/receives, selects without a
+// default, time.Sleep/time.After, and Read/Write-family calls on
+// net.Conn-like values. A blocked holder stalls every other goroutine
+// contending for the lock — in a transport read loop that is a
+// whole-pipeline deadlock waiting for one slow peer.
+//
+// The analysis walks each function body in source order, tracking the
+// held set per mutex expression (`mu.Lock()` ... `mu.Unlock()`, with
+// `defer mu.Unlock()` holding to function end). It is a linear
+// approximation of control flow — branch-dependent locking may need an
+// //ecslint:ignore with justification.
+var mutexholdCheck = Check{
+	Name: "mutexhold",
+	Doc:  "blocking call (channel op, select, Sleep, conn I/O) while holding a mutex",
+	Run:  runMutexhold,
+}
+
+func runMutexhold(ctx *Context) {
+	for _, f := range ctx.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					ctx.scanLockRegions(fn.Body)
+				}
+			case *ast.FuncLit:
+				ctx.scanLockRegions(fn.Body)
+				return false // inner literals rescanned by the nested walk
+			}
+			return true
+		})
+	}
+}
+
+// lockState tracks which mutex expressions are held at the current
+// point of the source-order walk.
+type lockState struct {
+	held map[string]token.Pos // mutex expr -> Lock position
+}
+
+func (c *Context) scanLockRegions(body *ast.BlockStmt) {
+	st := &lockState{held: make(map[string]token.Pos)}
+	c.walkStmts(body.List, st)
+}
+
+// walkStmts processes statements in source order, updating the held set
+// and reporting blocking operations found while it is non-empty.
+func (c *Context) walkStmts(stmts []ast.Stmt, st *lockState) {
+	for _, s := range stmts {
+		c.walkStmt(s, st)
+	}
+}
+
+func (c *Context) walkStmt(s ast.Stmt, st *lockState) {
+	switch stmt := s.(type) {
+	case *ast.ExprStmt:
+		c.scanExpr(stmt.X, st)
+		c.applyLockCall(stmt.X, st, false)
+	case *ast.DeferStmt:
+		c.applyLockCall(stmt.Call, st, true)
+	case *ast.SendStmt:
+		c.blockingOp(stmt.Pos(), "channel send", st)
+		c.scanExpr(stmt.Value, st)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range stmt.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			c.blockingOp(stmt.Pos(), "select", st)
+		}
+		for _, cl := range stmt.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok {
+				c.walkStmts(comm.Body, st)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range stmt.Rhs {
+			c.scanExpr(e, st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range stmt.Results {
+			c.scanExpr(e, st)
+		}
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			c.walkStmt(stmt.Init, st)
+		}
+		c.scanExpr(stmt.Cond, st)
+		c.walkStmts(stmt.Body.List, st)
+		if stmt.Else != nil {
+			c.walkStmt(stmt.Else, st)
+		}
+	case *ast.BlockStmt:
+		c.walkStmts(stmt.List, st)
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			c.walkStmt(stmt.Init, st)
+		}
+		if stmt.Cond != nil {
+			c.scanExpr(stmt.Cond, st)
+		}
+		c.walkStmts(stmt.Body.List, st)
+	case *ast.RangeStmt:
+		if tv, ok := c.Pkg.Info.Types[stmt.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				c.blockingOp(stmt.Pos(), "range over channel", st)
+			}
+		}
+		c.walkStmts(stmt.Body.List, st)
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			c.walkStmt(stmt.Init, st)
+		}
+		for _, cl := range stmt.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range stmt.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, st)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(stmt.Stmt, st)
+	case *ast.GoStmt:
+		// The spawned goroutine runs outside this lock region; its body
+		// is scanned as its own function literal.
+	}
+}
+
+// scanExpr reports blocking operations inside an expression evaluated
+// while locks are held: receives, and calls to time.Sleep/time.After or
+// conn I/O. Function literals are skipped — they run later.
+func (c *Context) scanExpr(e ast.Expr, st *lockState) {
+	if len(st.held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.blockingOp(x.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			c.scanBlockingCall(x, st)
+		}
+		return true
+	})
+}
+
+func (c *Context) scanBlockingCall(call *ast.CallExpr, st *lockState) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Package-level time.Sleep/time.After only — time.Time.After (the
+	// comparison method) shares the name but blocks nothing.
+	if isPkgFunc(fn, "time") && (fn.Name() == "Sleep" || fn.Name() == "After") {
+		c.blockingOp(call.Pos(), "time."+fn.Name(), st)
+		return
+	}
+	// I/O methods on net.Conn / net.PacketConn / net.Listener values.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	switch fn.Name() {
+	case "Read", "Write", "ReadFrom", "WriteTo", "ReadFromUDP", "WriteToUDP", "Accept":
+	default:
+		return
+	}
+	if tv, ok := c.Pkg.Info.Types[sel.X]; ok && isNetConnLike(tv.Type) {
+		c.blockingOp(call.Pos(), "network I/O ("+fn.Name()+")", st)
+	}
+}
+
+// isNetConnLike reports whether t implements one of the net package's
+// blocking endpoint interfaces.
+func isNetConnLike(t types.Type) bool {
+	for _, name := range []string{"Conn", "PacketConn", "Listener"} {
+		if iface := netInterface(t, name); iface != nil && types.Implements(t, iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// netInterface digs the named net interface type out of t's import
+// graph; it returns nil when t's package never touches net.
+func netInterface(t types.Type, name string) *types.Interface {
+	named, ok := derefNamed(t)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	var netPkg *types.Package
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package)
+	find = func(p *types.Package) {
+		if netPkg != nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		if p.Path() == "net" {
+			netPkg = p
+			return
+		}
+		for _, imp := range p.Imports() {
+			find(imp)
+		}
+	}
+	find(named.Obj().Pkg())
+	if netPkg == nil {
+		return nil
+	}
+	obj := netPkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// applyLockCall updates the held set for Lock/RLock/Unlock/RUnlock
+// calls on sync.Mutex/RWMutex values (including promoted methods on
+// embedding structs).
+func (c *Context) applyLockCall(e ast.Expr, st *lockState, deferred bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !isSyncLockMethod(fn) {
+		return
+	}
+	key := exprString(c.Pkg.Fset, sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		if !deferred {
+			st.held[key] = call.Pos()
+		}
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(st.held, key)
+		}
+		// defer x.Unlock(): the lock stays held to function end, which
+		// the plain held set already models.
+	}
+}
+
+func isSyncLockMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func (c *Context) blockingOp(pos token.Pos, what string, st *lockState) {
+	if len(st.held) == 0 {
+		return
+	}
+	// Report against one deterministic lock key.
+	key := ""
+	for k := range st.held {
+		if key == "" || k < key {
+			key = k
+		}
+	}
+	ctxPos := c.Pkg.Fset.Position(st.held[key])
+	c.Reportf(pos, "%s while holding %s.Lock() (locked at line %d); release the lock before blocking",
+		what, key, ctxPos.Line)
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

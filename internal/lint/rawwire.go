@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// rawwireCheck keeps byte-level DNS message surgery behind the codec:
+// outside internal/dnswire and internal/ecsopt, indexing or slicing a
+// []byte that holds a wire-format message — or reading/patching its
+// fields with encoding/binary — is flagged. Offset arithmetic on wire
+// bytes duplicated across packages is how parsers drift apart; the
+// codec owns the layout (dnswire.PeekID/PatchID exist for the header
+// cases transports legitimately need).
+//
+// Heuristic: the check keys on the value's name (pkt, packet, payload,
+// wire, datagram, msgdata, raw...), so transport framing buffers (buf,
+// lenBuf, out) stay out of scope.
+var rawwireCheck = Check{
+	Name: "rawwire",
+	Doc:  "raw DNS wire bytes indexed/sliced outside the dnswire/ecsopt codec",
+	Run:  runRawwire,
+}
+
+// wireNameRE matches identifiers conventionally holding a packed DNS
+// message in this codebase.
+var wireNameRE = regexp.MustCompile(`(?i)^(pkt|packet|payload|wire|wirebytes|dgram|datagram|msgdata|rawmsg|raw)$`)
+
+func runRawwire(ctx *Context) {
+	if pathListed(ctx.Cfg.RawwireAllow, basePath(ctx.Pkg.ImportPath)) {
+		return
+	}
+	info := ctx.Pkg.Info
+	for _, f := range ctx.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.IndexExpr:
+				if name, ok := ctx.wireBytes(e.X); ok {
+					ctx.Reportf(e.Pos(), "indexing wire bytes %s outside the codec; add an accessor to dnswire", name)
+				}
+			case *ast.SliceExpr:
+				if name, ok := ctx.wireBytes(e.X); ok {
+					ctx.Reportf(e.Pos(), "slicing wire bytes %s outside the codec; add an accessor to dnswire", name)
+				}
+			case *ast.CallExpr:
+				sel, ok := e.Fun.(*ast.SelectorExpr)
+				if !ok || len(e.Args) == 0 {
+					return true
+				}
+				obj := info.Uses[sel.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+					return true
+				}
+				if name, ok := ctx.wireBytes(e.Args[0]); ok {
+					ctx.Reportf(e.Pos(), "binary.%s on wire bytes %s outside the codec; use dnswire.PeekID/PatchID or add an accessor",
+						fn.Name(), name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wireBytes reports whether expr is a []byte whose name marks it as a
+// packed DNS message, returning the name.
+func (c *Context) wireBytes(expr ast.Expr) (string, bool) {
+	var name string
+	switch e := expr.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return "", false
+	}
+	if !wireNameRE.MatchString(name) {
+		return "", false
+	}
+	tv, ok := c.Pkg.Info.Types[expr]
+	if !ok {
+		return "", false
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return "", false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	return name, ok && basic.Kind() == types.Byte
+}

@@ -1,0 +1,17 @@
+// Package globalrandbad draws from math/rand's global source in
+// non-test code, which no Seed can make reproducible.
+package globalrandbad
+
+import "math/rand"
+
+func queryID() uint16 {
+	return uint16(rand.Intn(1 << 16))
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,9 @@
+package globalrandbad
+
+import "math/rand"
+
+// Test files are exempt: throwaway randomness in tests does not affect
+// replay of measurement runs.
+func testOnlyJitter() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,17 @@
+// Package globalrandgood shows the approved shapes: seeded instances
+// built with the constructors, consumed through methods.
+package globalrandgood
+
+import "math/rand"
+
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func queryID(rng *rand.Rand) uint16 {
+	return uint16(rng.Intn(1 << 16))
+}
+
+func shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

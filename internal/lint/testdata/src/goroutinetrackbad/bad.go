@@ -1,0 +1,17 @@
+// Package goroutinetrackbad spawns goroutine literals with no lifecycle
+// tie at all — the shape behind PR 1's Add-after-Wait race.
+package goroutinetrackbad
+
+func spawnUntracked(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+func spawnLoop(jobs []func()) {
+	for _, j := range jobs {
+		go func(f func()) {
+			f()
+		}(j)
+	}
+}

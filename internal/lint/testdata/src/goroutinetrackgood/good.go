@@ -1,0 +1,49 @@
+// Package goroutinetrackgood shows the accepted goroutine shapes:
+// WaitGroup-tracked, tracker-gated, context-cancellable, and named
+// functions (whose tracking is the caller's visible responsibility).
+package goroutinetrackgood
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) run() {}
+
+func (s *server) track() bool { return true }
+
+func (s *server) spawnTracked(work func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+func (s *server) spawnTrackerGated(work func()) {
+	go func() {
+		if s.track() {
+			work()
+		}
+	}()
+}
+
+func (s *server) spawnNamed() {
+	go s.run()
+}
+
+func spawnCancellable(ctx context.Context, work func(context.Context)) {
+	go func() {
+		work(ctx)
+	}()
+}
+
+func spawnWithCtxParam(work func(context.Context)) {
+	go func(ctx context.Context) {
+		work(ctx)
+	}(context.Background())
+}

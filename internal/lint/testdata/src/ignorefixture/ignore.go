@@ -1,0 +1,31 @@
+// Package ignorefixture exercises //ecslint:ignore semantics: same-line
+// and standalone suppression, exact check matching, unknown names, and
+// the justification requirement.
+package ignorefixture
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //ecslint:ignore wallclock fixture: same-line suppression
+}
+
+func suppressedStandalone() time.Time {
+	//ecslint:ignore wallclock fixture: standalone directive covers the next line
+	return time.Now()
+}
+
+func wrongCheckNamed() time.Time {
+	return time.Now() //ecslint:ignore globalrand names a different check, must not suppress wallclock
+}
+
+func unsuppressed() time.Time {
+	return time.Now()
+}
+
+func unknownCheck() time.Time {
+	return time.Now() //ecslint:ignore nosuchcheck unknown check names are reported
+}
+
+func missingWhy() time.Time {
+	return time.Now() //ecslint:ignore wallclock
+}

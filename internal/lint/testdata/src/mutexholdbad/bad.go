@@ -1,0 +1,58 @@
+// Package mutexholdbad blocks while holding a mutex in each way the
+// check must catch: channel ops, select, time.Sleep, and conn I/O,
+// under both explicit and deferred unlocks.
+package mutexholdbad
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	conn net.Conn
+}
+
+func (b *box) sendLocked(v int) {
+	b.mu.Lock()
+	b.ch <- v
+	b.mu.Unlock()
+}
+
+func (b *box) recvDeferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch
+}
+
+func (b *box) sleepLocked() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}
+
+func (b *box) ioLocked(buf []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.conn.Read(buf)
+}
+
+func (b *box) selectLocked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		return v
+	case <-time.After(time.Millisecond):
+		return 0
+	}
+}
+
+func (b *box) readLockHeld() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return <-b.ch
+}

@@ -1,0 +1,49 @@
+// Package mutexholdgood holds locks only around state mutation and
+// blocks only after releasing them — plus the shapes that look like
+// blocking but are not (select with default, time.Time.After).
+package mutexholdgood
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu       sync.Mutex
+	ch       chan int
+	deadline time.Time
+}
+
+func (b *box) sendAfterUnlock(v int) {
+	b.mu.Lock()
+	b.deadline = time.Time{}
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+func (b *box) tryRecvLocked() (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func (b *box) compareLocked(t time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// time.Time.After is a comparison, not the timer function.
+	return t.After(b.deadline)
+}
+
+func (b *box) spawnNotHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The goroutine body runs outside this lock region.
+	go func() {
+		<-b.ch
+	}()
+}

@@ -1,0 +1,25 @@
+// Package rawwirebad does byte-level DNS message surgery outside the
+// codec: header reads, flag peeks, and section slicing.
+package rawwirebad
+
+import "encoding/binary"
+
+func headerID(pkt []byte) uint16 {
+	return binary.BigEndian.Uint16(pkt)
+}
+
+func flags(payload []byte) byte {
+	return payload[2]
+}
+
+func afterHeader(packet []byte) []byte {
+	return packet[12:]
+}
+
+type frame struct {
+	payload []byte
+}
+
+func (f *frame) opcode() byte {
+	return f.payload[2] >> 3
+}

@@ -1,0 +1,20 @@
+// Package rawwiregood handles bytes the check must not flag: transport
+// framing buffers, generic buffers, and wire-named values that are not
+// byte slices.
+package rawwiregood
+
+import "encoding/binary"
+
+// TCP length-prefix framing is transport logic, not message parsing.
+func frameLen(lenBuf []byte) int {
+	return int(binary.BigEndian.Uint16(lenBuf))
+}
+
+func fill(buf []byte, b byte) {
+	buf[0] = b
+}
+
+// Same name, not bytes: out of scope.
+func sum(pkt []int) int {
+	return pkt[0] + pkt[1]
+}

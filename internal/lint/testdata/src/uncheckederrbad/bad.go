@@ -1,0 +1,17 @@
+// Package uncheckederrbad discards codec errors in every way the check
+// must catch — the bug class behind PR 1's double-Unpack fix.
+package uncheckederrbad
+
+import (
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+func drops(m *dnswire.Message, wire []byte, opt dnswire.Option) *dnswire.Message {
+	m.Pack()
+	ecsopt.Decode(opt)
+	_, _ = m.Pack()
+	m2, _ := dnswire.Unpack(wire)
+	defer m.Pack()
+	return m2
+}

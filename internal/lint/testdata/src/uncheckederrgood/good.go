@@ -1,0 +1,30 @@
+// Package uncheckederrgood consumes every codec error, and shows the
+// shapes the check must NOT flag: error-free codec functions and
+// same-named methods outside the codec packages.
+package uncheckederrgood
+
+import (
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+type notCodec struct{}
+
+// Pack shares the codec's name but lives outside the codec packages.
+func (notCodec) Pack() error { return nil }
+
+func checked(m *dnswire.Message, wire []byte, cs ecsopt.ClientSubnet) ([]byte, error) {
+	data, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dnswire.Unpack(wire); err != nil {
+		return nil, err
+	}
+	// ClientSubnet.Encode returns no error; discarding its value is a
+	// different decision than discarding an error.
+	_ = cs.Encode()
+	var n notCodec
+	n.Pack()
+	return data, nil
+}

@@ -1,0 +1,9 @@
+// Package wallclockallowed calls time.Now but is allowlisted in the
+// test's Config (standing in for the real-transport packages).
+package wallclockallowed
+
+import "time"
+
+func deadline(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}

@@ -1,0 +1,24 @@
+// Package wallclockbad exercises every banned wall-clock form: calls to
+// the four time functions and a bare reference passed as a closure.
+package wallclockbad
+
+import "time"
+
+func badCalls() time.Time {
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	ticks := time.Tick(time.Second)
+	<-ticks
+	return time.Now()
+}
+
+// badRef shows that handing time.Now to a config struct is just as much
+// a wall-clock dependency as calling it.
+func badRef() func() time.Time {
+	return time.Now
+}
+
+// okInjected is the approved shape: the caller supplies time.
+func okInjected(now func() time.Time, start time.Time) time.Duration {
+	return now().Sub(start)
+}

@@ -1,0 +1,17 @@
+// Package wallclockgood uses time only through injected clocks, the
+// pattern simulation code must follow.
+package wallclockgood
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+}
+
+func elapsed(c clock, start time.Time) time.Duration {
+	return c.Now().Sub(start)
+}
+
+func expired(c clock, deadline time.Time) bool {
+	return c.Now().After(deadline)
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// uncheckederrCheck flags codec calls whose error result is discarded.
+// PR 1's double-Unpack bug hid behind exactly this shape: a dropped
+// Unpack error turned a malformed packet into a nil-deref two layers
+// later. Any call to a Pack/Unpack/Decode/Encode function or method
+// declared in the codec packages (dnswire, ecsopt) must consume its
+// error: no bare expression statements, no blank assignment, no go/defer.
+var uncheckederrCheck = Check{
+	Name: "uncheckederr",
+	Doc:  "discarded error from a dnswire/ecsopt Pack/Unpack/Decode/Encode call",
+	Run:  runUncheckederr,
+}
+
+// codecNames matches the codec entry points by name prefix: Pack,
+// Unpack, Decode, Encode, and compounds like PackTo or DecodeStrict.
+var codecNames = []string{"Pack", "Unpack", "Decode", "Encode"}
+
+func runUncheckederr(ctx *Context) {
+	for _, f := range ctx.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := ctx.codecCallWithErr(stmt.X); ok {
+					ctx.Reportf(stmt.Pos(), "result of %s is discarded; its error must be checked", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := ctx.codecCallWithErr(stmt.Call); ok {
+					ctx.Reportf(stmt.Pos(), "go %s discards its error; call it in a tracked func and check the error", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := ctx.codecCallWithErr(stmt.Call); ok {
+					ctx.Reportf(stmt.Pos(), "defer %s discards its error", name)
+				}
+			case *ast.AssignStmt:
+				// Single call on the RHS feeding multiple LHS slots:
+				// the error occupies the last slot.
+				if len(stmt.Rhs) != 1 || len(stmt.Lhs) < 2 {
+					return true
+				}
+				name, ok := ctx.codecCallWithErr(stmt.Rhs[0])
+				if !ok {
+					return true
+				}
+				if id, isIdent := stmt.Lhs[len(stmt.Lhs)-1].(*ast.Ident); isIdent && id.Name == "_" {
+					ctx.Reportf(stmt.Pos(), "error from %s assigned to _; it must be checked", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// codecCallWithErr reports whether expr is a call to a codec function —
+// one declared in a Config.CodecPackages package whose name starts with
+// Pack/Unpack/Decode/Encode — that returns an error as its last result.
+func (c *Context) codecCallWithErr(expr ast.Expr) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = c.Pkg.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = c.Pkg.Info.Uses[fun]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !pathListed(c.Cfg.CodecPackages, fn.Pkg().Path()) {
+		return "", false
+	}
+	matched := false
+	for _, prefix := range codecNames {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockCheck bans wall-clock time sources outside the allowlisted
+// real-transport packages. Simulation and measurement code must go
+// through netem.Clock (the virtual clock) so fault traces replay
+// bit-identically: one stray time.Now in a simulated path makes a
+// campaign unreproducible in a way no test reliably catches.
+//
+// Both calls (`time.Now()`) and references (`Now: time.Now`) are
+// flagged — passing time.Now as a closure injects the wall clock just
+// as effectively as calling it.
+var wallclockCheck = Check{
+	Name: "wallclock",
+	Doc:  "time.Now/Sleep/After/Tick outside real-transport packages breaks deterministic replay",
+	Run:  runWallclock,
+}
+
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Sleep": true,
+	"After": true,
+	"Tick":  true,
+}
+
+func runWallclock(ctx *Context) {
+	if pathListed(ctx.Cfg.WallclockAllow, basePath(ctx.Pkg.ImportPath)) {
+		return
+	}
+	for _, f := range ctx.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := ctx.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || !isPkgFunc(obj, "time") || !wallclockFuncs[obj.Name()] {
+				return true
+			}
+			ctx.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; use the virtual clock (netem.Clock) or an injected now func",
+				obj.Name())
+			return true
+		})
+	}
+}
+
+// isPkgFunc reports whether obj is a package-level function (not a
+// method) declared in the package with the given import path.
+func isPkgFunc(obj types.Object, pkgPath string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// basePath strips the synthetic "_test" suffix external test packages
+// get, so allowlists written for a package cover its tests too.
+func basePath(importPath string) string {
+	if n := len(importPath); n > 5 && importPath[n-5:] == "_test" {
+		return importPath[:n-5]
+	}
+	return importPath
+}

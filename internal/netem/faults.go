@@ -77,9 +77,9 @@ type FaultStats struct {
 	Blackouts int64
 	// Truncated, ServFails and Corrupted count injected response
 	// faults.
-	Truncated  int64
-	ServFails  int64
-	Corrupted  int64
+	Truncated int64
+	ServFails int64
+	Corrupted int64
 	// Delayed counts exchanges that received extra latency, and
 	// ExtraLatency is the total delay added.
 	Delayed      int64

@@ -20,7 +20,7 @@ type simTargetHandler struct {
 }
 
 func (h simTargetHandler) HandleDNS(_ netip.Addr, q *dnswire.Message) *dnswire.Message {
-	time.Sleep(h.delay)
+	time.Sleep(h.delay) //ecslint:ignore wallclock benchmark models per-probe latency with real sleeps
 	resp := dnswire.NewResponse(q)
 	resp.Answers = append(resp.Answers, dnswire.RR{
 		Name: q.Question().Name, TTL: 60,

@@ -101,7 +101,7 @@ func NewRateLimiter(ratePerSec float64, burst int) *RateLimiter {
 		rate:   ratePerSec,
 		burst:  float64(burst),
 		tokens: float64(burst),
-		last:   time.Now(),
+		last:   time.Now(), //ecslint:ignore wallclock token bucket paces real probe traffic
 	}
 }
 
@@ -109,7 +109,7 @@ func NewRateLimiter(ratePerSec float64, burst int) *RateLimiter {
 func (l *RateLimiter) Wait(ctx context.Context) error {
 	for {
 		l.mu.Lock()
-		now := time.Now()
+		now := time.Now() //ecslint:ignore wallclock token bucket paces real probe traffic
 		l.tokens += now.Sub(l.last).Seconds() * l.rate
 		if l.tokens > l.burst {
 			l.tokens = l.burst
@@ -125,7 +125,7 @@ func (l *RateLimiter) Wait(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(wait):
+		case <-time.After(wait): //ecslint:ignore wallclock token accrual happens in real time
 		}
 	}
 }
@@ -153,7 +153,7 @@ func (p *Progress) CountMismatch() { p.mismatched.Add(1) }
 
 // NewProgress starts the campaign clock.
 func NewProgress() *Progress {
-	return &Progress{start: time.Now()}
+	return &Progress{start: time.Now()} //ecslint:ignore wallclock QPS reports real campaign throughput
 }
 
 // ProgressSnapshot is a point-in-time view of a campaign.

@@ -71,7 +71,7 @@ func TestEngineCountsProgress(t *testing.T) {
 func TestEngineRateLimit(t *testing.T) {
 	// 200 qps, burst 1: 20 jobs need ≥ 19 inter-job gaps of 5 ms.
 	eng := &Engine{Concurrency: 4, Rate: 200, Burst: 1}
-	start := time.Now()
+	start := time.Now() //ecslint:ignore wallclock asserts real pacing of the wall-clock limiter
 	err := eng.Run(context.Background(), 20, func(_ context.Context, _ int) error { return nil })
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +112,7 @@ func TestRateLimiterContextCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	start := time.Now()
+	start := time.Now() //ecslint:ignore wallclock asserts real cancellation latency
 	if err := l.Wait(ctx); err != context.DeadlineExceeded {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}

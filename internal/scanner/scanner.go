@@ -136,7 +136,7 @@ func (s *Scan) randID() uint16 {
 	if s.rng == nil {
 		seed := s.Seed
 		if seed == 0 {
-			seed = time.Now().UnixNano()
+			seed = time.Now().UnixNano() //ecslint:ignore wallclock live scans want unpredictable IDs; harnesses set Seed
 		}
 		s.rng = rand.New(rand.NewSource(seed))
 	}

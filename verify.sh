@@ -1,29 +1,47 @@
 #!/bin/sh
-# verify.sh — the full tier-1 gate plus fuzz smoke tests.
+# verify.sh — the full tier-1 gate plus static analysis and fuzz smokes.
 #
-#   ./verify.sh           run everything (~2 min: race suite + 3×10s fuzz)
+#   ./verify.sh                run everything (~2 min: race suite + 3×10s fuzz)
 #   FUZZTIME=30s ./verify.sh   longer fuzz smokes
 #
-# Exits non-zero on the first failure.
+# Stages run in order and the script exits non-zero at the first
+# failure, so the last banner printed names the stage that broke.
 set -eu
 
 FUZZTIME="${FUZZTIME:-10s}"
 
-echo "== go build ./..."
+stage() {
+	echo ""
+	echo "=== verify: $* ==="
+}
+
+stage "go build ./..."
 go build ./...
 
-echo "== go vet ./..."
+stage "gofmt (all files formatted)"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+stage "go vet ./..."
 go vet ./...
 
-echo "== go test ./..."
+stage "ecslint (project invariants)"
+go run ./cmd/ecslint ./...
+
+stage "go test ./..."
 go test ./...
 
-echo "== go test -race ./..."
+stage "go test -race ./..."
 go test -race ./...
 
-echo "== fuzz smoke tests (${FUZZTIME} each)"
+stage "fuzz smoke tests (${FUZZTIME} each)"
 go test -fuzz FuzzUnpack    -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
 go test -fuzz FuzzNameParse -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
 go test -fuzz FuzzDecode    -fuzztime "$FUZZTIME" -run NONE ./internal/ecsopt
 
+echo ""
 echo "verify: all green"
