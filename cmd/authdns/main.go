@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +41,11 @@ func main() {
 	ttl := flag.Uint("ttl", 30, "answer TTL in seconds")
 	scopeSpec := flag.String("scope", "source-4", "ECS scope policy: source-4, echo, or a fixed number")
 	quiet := flag.Bool("quiet", false, "suppress per-query logging")
+	maxInflight := flag.Int("max-inflight", dnsserver.DefaultMaxInflight, "UDP queries handled concurrently (admission control)")
+	maxConns := flag.Int("max-conns", dnsserver.DefaultMaxConns, "simultaneous TCP connections (-1 = unlimited)")
+	overflow := flag.String("overflow", "drop", "admission overflow policy: drop or servfail")
+	rrlSpec := flag.String("rrl", "", "response-rate limit, e.g. rate=20,burst=40,slip=2 (empty = off)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGTERM before force close")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -56,6 +62,23 @@ func main() {
 	scope, err := parseScope(*scopeSpec)
 	if err != nil {
 		log.Fatalf("authdns: %v", err)
+	}
+	if *maxInflight <= 0 {
+		log.Fatalf("authdns: -max-inflight must be positive, got %d", *maxInflight)
+	}
+	if *maxConns == 0 || *maxConns < -1 {
+		log.Fatalf("authdns: -max-conns must be positive or -1 (unlimited), got %d", *maxConns)
+	}
+	policy, err := parseOverflow(*overflow)
+	if err != nil {
+		log.Fatalf("authdns: %v", err)
+	}
+	rrl, err := dnsserver.ParseRRL(*rrlSpec)
+	if err != nil {
+		log.Fatalf("authdns: bad -rrl: %v", err)
+	}
+	if *drain <= 0 {
+		log.Fatalf("authdns: -drain must be positive, got %v", *drain)
 	}
 
 	srv := authority.NewServer(authority.Config{
@@ -93,6 +116,10 @@ func main() {
 	}
 
 	ds := dnsserver.New(srv)
+	ds.MaxInflight = *maxInflight
+	ds.MaxConns = *maxConns
+	ds.Overflow = policy
+	ds.RRL = rrl
 	bound, err := ds.Start(*listen)
 	if err != nil {
 		log.Fatalf("authdns: %v", err)
@@ -102,8 +129,23 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("authdns: shutting down")
-	ds.Close()
+	log.Printf("authdns: shutting down (draining up to %v)", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := ds.Shutdown(ctx); err != nil {
+		log.Printf("authdns: drain incomplete, force-closed: %v", err)
+	}
+	log.Printf("authdns: %s", ds.Stats())
+}
+
+func parseOverflow(spec string) (dnsserver.OverflowPolicy, error) {
+	switch spec {
+	case "drop":
+		return dnsserver.OverflowDrop, nil
+	case "servfail":
+		return dnsserver.OverflowServFail, nil
+	}
+	return 0, fmt.Errorf("bad -overflow %q (want drop or servfail)", spec)
 }
 
 func parseScope(spec string) (authority.ScopeFunc, error) {

@@ -27,6 +27,7 @@ import (
 	"log"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -129,10 +130,26 @@ func bulkScan(targetsArg string, base dnswire.Name, concurrency int, rate float6
 	}
 	defer pipe.Close()
 
+	// First SIGINT drains the engine gracefully (in-flight probes finish,
+	// partial results are still flushed below); a second forces exit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "ecsscan: interrupt — draining in-flight probes (interrupt again to force exit)")
+		cancel()
+		<-sig
+		fmt.Fprintln(os.Stderr, "ecsscan: forced exit")
+		os.Exit(130)
+	}()
+
 	prog := scanner.NewProgress()
 	eng := &scanner.Engine{Concurrency: concurrency, Rate: rate, Progress: prog}
 	results := make([]string, len(targets))
-	err = eng.Run(context.Background(), len(targets), func(ctx context.Context, i int) error {
+	err = eng.Run(ctx, len(targets), func(ctx context.Context, i int) error {
 		name, err := base.Prepend(fmt.Sprintf("bulk%d", i))
 		if err != nil {
 			results[i] = fmt.Sprintf("%-24s bad probe name: %v", targets[i], err)
@@ -151,17 +168,26 @@ func bulkScan(targetsArg string, base dnswire.Name, concurrency int, rate float6
 			time.Since(start).Round(time.Millisecond))
 		return nil
 	})
-	if err != nil {
+	interrupted := err != nil && ctx.Err() != nil
+	if err != nil && !interrupted {
 		log.Fatalf("ecsscan: %v", err)
 	}
+	flushed := 0
 	for _, line := range results {
+		if line == "" {
+			continue // probe never started before the drain
+		}
 		fmt.Println(line)
+		flushed++
 	}
 	s := prog.Snapshot()
 	st := pipe.Stats()
 	fmt.Printf("\n%d targets: %d responding, %d unreachable in %s (%.0f q/s; %d udp sent, %d retries, %d tcp fallbacks)\n",
 		len(targets), s.Done, s.Errors, s.Elapsed.Round(time.Millisecond), s.QPS,
 		st.Sent, st.Retries, st.TCPFallbacks)
+	if interrupted {
+		fmt.Printf("interrupted: partial results for %d of %d targets\n", flushed, len(targets))
+	}
 }
 
 // singleProbe is the original single-target §6.3 trial sequence.

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -49,6 +50,11 @@ func main() {
 	zoneName := flag.String("zone", "scan.example.org", "zone served by the upstream authority")
 	upstream := flag.String("upstream", "127.0.0.1:5300", "authoritative server address")
 	profileName := flag.String("profile", "compliant", "ECS behavior profile")
+	maxInflight := flag.Int("max-inflight", dnsserver.DefaultMaxInflight, "UDP queries handled concurrently (admission control)")
+	maxConns := flag.Int("max-conns", dnsserver.DefaultMaxConns, "simultaneous TCP connections (-1 = unlimited)")
+	overflow := flag.String("overflow", "drop", "admission overflow policy: drop or servfail")
+	rrlSpec := flag.String("rrl", "", "response-rate limit, e.g. rate=20,burst=40,slip=2 (empty = off)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGTERM before force close")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -61,6 +67,23 @@ func main() {
 	profile, err := profileByName(*profileName)
 	if err != nil {
 		log.Fatalf("recursor: %v", err)
+	}
+	if *maxInflight <= 0 {
+		log.Fatalf("recursor: -max-inflight must be positive, got %d", *maxInflight)
+	}
+	if *maxConns == 0 || *maxConns < -1 {
+		log.Fatalf("recursor: -max-conns must be positive or -1 (unlimited), got %d", *maxConns)
+	}
+	policy, err := parseOverflow(*overflow)
+	if err != nil {
+		log.Fatalf("recursor: %v", err)
+	}
+	rrl, err := dnsserver.ParseRRL(*rrlSpec)
+	if err != nil {
+		log.Fatalf("recursor: bad -rrl: %v", err)
+	}
+	if *drain <= 0 {
+		log.Fatalf("recursor: -drain must be positive, got %v", *drain)
 	}
 
 	// The directory routes the configured zone (and everything else) to
@@ -90,6 +113,10 @@ func main() {
 	})
 
 	srv := dnsserver.New(res)
+	srv.MaxInflight = *maxInflight
+	srv.MaxConns = *maxConns
+	srv.Overflow = policy
+	srv.RRL = rrl
 	bound, err := srv.Start(*listen)
 	if err != nil {
 		log.Fatalf("recursor: %v", err)
@@ -99,9 +126,25 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	log.Printf("recursor: shutting down (draining up to %v)", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("recursor: drain incomplete, force-closed: %v", err)
+	}
 	client, up := res.Counters()
 	log.Printf("recursor: served %d client queries, sent %d upstream", client, up)
-	srv.Close()
+	log.Printf("recursor: %s", srv.Stats())
+}
+
+func parseOverflow(spec string) (dnsserver.OverflowPolicy, error) {
+	switch spec {
+	case "drop":
+		return dnsserver.OverflowDrop, nil
+	case "servfail":
+		return dnsserver.OverflowServFail, nil
+	}
+	return 0, fmt.Errorf("bad -overflow %q (want drop or servfail)", spec)
 }
 
 func profileByName(name string) (resolver.Profile, error) {

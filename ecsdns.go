@@ -35,24 +35,35 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // figure, and quantitative section finding).
 func Experiments() []string { return core.IDs() }
 
-// Run executes one experiment by id ("table1", "fig3", …).
+// Run executes one experiment by id ("table1", "fig3", …). A panicking
+// experiment is isolated and reported as an error, so one buggy
+// experiment cannot take down a batch run (cmd/ecslab keeps going).
 func Run(id string, cfg Config) (*Report, error) {
 	e, ok := core.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("ecsdns: unknown experiment %q (have %v)", id, core.IDs())
 	}
-	return e.Run(cfg)
+	return runIsolated(e, cfg)
 }
 
 // RunAll executes every experiment and returns the reports in id order.
 func RunAll(cfg Config) ([]*Report, error) {
 	var out []*Report
 	for _, e := range core.All() {
-		rep, err := e.Run(cfg)
+		rep, err := runIsolated(e, cfg)
 		if err != nil {
 			return out, fmt.Errorf("ecsdns: %s: %w", e.ID, err)
 		}
 		out = append(out, rep)
 	}
 	return out, nil
+}
+
+func runIsolated(e core.Experiment, cfg Config) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("ecsdns: experiment %s panicked: %v", e.ID, r)
+		}
+	}()
+	return e.Run(cfg)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -88,4 +89,17 @@ func main() {
 	clientQ, upstreamQ := res.Counters()
 	fmt.Printf("\nresolver served %d client queries with %d upstream queries (1 cache hit)\n",
 		clientQ, upstreamQ)
+
+	// 5. Drain both servers gracefully and print their accounting — the
+	// same lifecycle the daemons run on SIGTERM.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := resSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := authSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolver server:  %s\n", resSrv.Stats())
+	fmt.Printf("authority server: %s\n", authSrv.Stats())
 }

@@ -160,7 +160,11 @@ func main() {
 			return err
 		}
 		direct := &scanner.Prober{Zone: zone, Logs: logs, Scope: scope, Send: send}
-		canInject := direct.DetectInjection()
+		canInject, err := direct.DetectInjection()
+		if err != nil {
+			fmt.Printf("  injection pre-test for %s failed: %v\n", eg, err)
+			os.Exit(1)
+		}
 		if !canInject {
 			var fwds [3]netip.Addr
 			for i, p := range scanner.InjectionPrefixes {
@@ -182,7 +186,12 @@ func main() {
 			Zone: zone, Logs: logs, Scope: scope,
 			Send: send, CanInject: canInject,
 		}
-		class := scanner.Classify(prober.Probe())
+		obs, err := prober.Probe()
+		if err != nil {
+			fmt.Printf("  probing %s failed: %v\n", eg, err)
+			os.Exit(1)
+		}
+		class := scanner.Classify(obs)
 		fmt.Printf("  %-15s (%-12s) injectable=%-5v → classified %q\n",
 			eg, egressName[eg], canInject, class)
 	}

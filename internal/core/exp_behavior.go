@@ -205,7 +205,10 @@ func runRootTrace(s *Study, cfg Config) int {
 func runSection63(cfg Config) (*Report, error) {
 	s := BuildStudy(cfg)
 	subjects := s.BuildCachingPopulation()
-	census := s.ProbeCachingBehavior(subjects)
+	census, err := s.ProbeCachingBehavior(subjects)
+	if err != nil {
+		return nil, err
+	}
 
 	rep := &Report{ID: "section6_3", Title: "Cache-scope compliance classes"}
 	sc := cfg.Scale

@@ -228,9 +228,15 @@ func runExtLabStudy(cfg Config) (*Report, error) {
 	vantage := 0
 	for i, sub := range subjects {
 		r := s.addResolver(60000+i*10, sub.profile, false)
-		prober := s.classifyProber(r, vantage)
+		prober, err := s.classifyProber(r, vantage)
+		if err != nil {
+			return nil, err
+		}
 		vantage += 3
-		obs := prober.Probe()
+		obs, err := prober.Probe()
+		if err != nil {
+			return nil, err
+		}
 		class := scanner.Classify(obs)
 		t.AddRow(sub.name, prober.CanInject, class.String(), int(obs.MaxConveyedBits), obs.ConveyedPrivate)
 		if want, ok := expected[sub.name]; ok {

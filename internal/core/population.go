@@ -519,26 +519,37 @@ type CachingSubject struct {
 // resolver first gets the acceptance pre-test: only paths that convey
 // injected prefixes are probed with technique 1; the rest fall back to
 // vantage forwarders.
-func (s *Study) ProbeCachingBehavior(subjects []CachingSubject) map[scanner.CachingClass]int {
+func (s *Study) ProbeCachingBehavior(subjects []CachingSubject) (map[scanner.CachingClass]int, error) {
 	census := make(map[scanner.CachingClass]int)
 	vantage := 0
 	for _, sub := range subjects {
-		prober := s.classifyProber(sub.Resolver, vantage)
+		prober, err := s.classifyProber(sub.Resolver, vantage)
+		if err != nil {
+			return census, err
+		}
 		vantage += 3
-		census[scanner.Classify(prober.Probe())]++
+		obs, err := prober.Probe()
+		if err != nil {
+			return census, err
+		}
+		census[scanner.Classify(obs)]++
 	}
-	return census
+	return census, nil
 }
 
 // classifyProber builds the right prober for a resolver: direct
 // injection when the acceptance pre-test passes, vantage forwarders
 // otherwise.
-func (s *Study) classifyProber(r *resolver.Resolver, vantage int) *scanner.Prober {
+func (s *Study) classifyProber(r *resolver.Resolver, vantage int) (*scanner.Prober, error) {
 	direct := s.proberFor(r, true, vantage)
-	if direct.DetectInjection() {
-		return direct
+	ok, err := direct.DetectInjection()
+	if err != nil {
+		return nil, err
 	}
-	return s.proberFor(r, false, vantage)
+	if ok {
+		return direct, nil
+	}
+	return s.proberFor(r, false, vantage), nil
 }
 
 func (s *Study) proberFor(r *resolver.Resolver, canInject bool, vantageSalt int) *scanner.Prober {

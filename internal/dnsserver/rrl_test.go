@@ -1,0 +1,171 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/netem"
+)
+
+// TestRRLSlipCadence pins the limiter's determinism under the virtual
+// clock: with the clock frozen, the pass/drop/slip sequence for a fixed
+// offered load is an exact function of (rate, burst, slip) — the
+// property the chaos harness relies on to assert exact shed counts.
+func TestRRLSlipCadence(t *testing.T) {
+	clk := netem.NewClock(netem.SimStart)
+	r, err := newRRL(RRLConfig{Rate: 1, Burst: 2, Slip: 2}, clk.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := netip.MustParseAddr("192.0.2.10")
+	want := []rrlAction{
+		rrlPass, rrlPass, // burst
+		rrlDrop, rrlSlip, rrlDrop, rrlSlip, rrlDrop, rrlSlip, // refused 1..6
+	}
+	for i, w := range want {
+		if got := r.decide(addr); got != w {
+			t.Fatalf("query %d: action = %v, want %v", i, got, w)
+		}
+	}
+	// Two seconds of virtual time refill two tokens; the per-bucket
+	// refused counter keeps its phase across the refill.
+	clk.Advance(2 * time.Second)
+	want = []rrlAction{rrlPass, rrlPass, rrlDrop, rrlSlip}
+	for i, w := range want {
+		if got := r.decide(addr); got != w {
+			t.Fatalf("post-refill query %d: action = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestRRLPrefixAggregation checks that clients in one /24 share a
+// bucket while a different /24 gets its own.
+func TestRRLPrefixAggregation(t *testing.T) {
+	clk := netem.NewClock(netem.SimStart)
+	r, err := newRRL(RRLConfig{Rate: 1, Burst: 1, Slip: 1}, clk.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.decide(netip.MustParseAddr("198.51.100.1")); got != rrlPass {
+		t.Fatalf("first query in /24: %v, want pass", got)
+	}
+	if got := r.decide(netip.MustParseAddr("198.51.100.200")); got != rrlSlip {
+		t.Fatalf("sibling in same /24: %v, want slip (shared bucket, slip=1)", got)
+	}
+	if got := r.decide(netip.MustParseAddr("198.51.101.1")); got != rrlPass {
+		t.Fatalf("different /24: %v, want pass (own bucket)", got)
+	}
+}
+
+// TestRRLSlipNone checks that SlipNone silences the TC escape valve:
+// every refusal is a drop.
+func TestRRLSlipNone(t *testing.T) {
+	clk := netem.NewClock(netem.SimStart)
+	r, err := newRRL(RRLConfig{Rate: 1, Burst: 1, Slip: SlipNone}, clk.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := netip.MustParseAddr("192.0.2.10")
+	if got := r.decide(addr); got != rrlPass {
+		t.Fatalf("first query: %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		if got := r.decide(addr); got != rrlDrop {
+			t.Fatalf("refusal %d: %v, want drop (slips disabled)", i, got)
+		}
+	}
+}
+
+// TestRRLFailOpen checks the bucket-table bound: when the table is full
+// and no prefix is idle, new prefixes pass unharmed (the limiter must
+// degrade open, not fall over); once existing buckets have fully
+// recovered they are swept to make room.
+func TestRRLFailOpen(t *testing.T) {
+	clk := netem.NewClock(netem.SimStart)
+	r, err := newRRL(RRLConfig{Rate: 1, Burst: 1, MaxBuckets: 2}, clk.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.decide(netip.MustParseAddr("192.0.2.1")); got != rrlPass {
+		t.Fatalf("prefix 1: %v", got)
+	}
+	if got := r.decide(netip.MustParseAddr("192.0.3.1")); got != rrlPass {
+		t.Fatalf("prefix 2: %v", got)
+	}
+	// Table full, both buckets drained, clock frozen: nothing to sweep.
+	if got := r.decide(netip.MustParseAddr("192.0.4.1")); got != rrlPass {
+		t.Fatalf("prefix 3 at full table: %v, want fail-open pass", got)
+	}
+	if n := len(r.buckets); n != 2 {
+		t.Fatalf("fail-open grew the table to %d buckets", n)
+	}
+	// After the existing prefixes have fully recovered, the sweep makes
+	// room and the new prefix is tracked normally.
+	clk.Advance(10 * time.Second)
+	if got := r.decide(netip.MustParseAddr("192.0.4.1")); got != rrlPass {
+		t.Fatalf("prefix 3 after sweep: %v", got)
+	}
+	if n := len(r.buckets); n != 1 {
+		t.Fatalf("buckets after sweep = %d, want 1", n)
+	}
+}
+
+func TestRRLDefaults(t *testing.T) {
+	clk := netem.NewClock(netem.SimStart)
+	r, err := newRRL(RRLConfig{Rate: 2.5}, clk.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.burst != 3 {
+		t.Fatalf("burst = %v, want ceil(rate) = 3", r.burst)
+	}
+	if r.slip != 2 {
+		t.Fatalf("slip = %d, want default 2", r.slip)
+	}
+	if r.v4len != 24 || r.v6len != 56 {
+		t.Fatalf("prefix lens = %d/%d, want 24/56", r.v4len, r.v6len)
+	}
+	if r.maxBkts != 8192 {
+		t.Fatalf("max buckets = %d, want 8192", r.maxBkts)
+	}
+	if _, err := newRRL(RRLConfig{}, clk.Now); err == nil {
+		t.Fatal("zero rate must be rejected")
+	}
+	if _, err := newRRL(RRLConfig{Rate: 1, IPv4PrefixLen: 40}, clk.Now); err == nil {
+		t.Fatal("v4 prefix length 40 must be rejected")
+	}
+}
+
+func TestParseRRL(t *testing.T) {
+	if cfg, err := ParseRRL(""); cfg != nil || err != nil {
+		t.Fatalf("empty spec = %v, %v; want nil, nil", cfg, err)
+	}
+	cfg, err := ParseRRL("rate=20, burst=40, slip=3, v4len=28, v6len=64, buckets=512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RRLConfig{Rate: 20, Burst: 40, Slip: 3, IPv4PrefixLen: 28, IPv6PrefixLen: 64, MaxBuckets: 512}
+	if *cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", *cfg, want)
+	}
+	cfg, err = ParseRRL("rate=5,slip=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Slip != SlipNone {
+		t.Fatalf("slip=0 parsed to %d, want SlipNone", cfg.Slip)
+	}
+	for _, bad := range []string{
+		"burst=4",        // rate missing
+		"rate=0",         // not positive
+		"rate=x",         // not a number
+		"rate=5,wat=1",   // unknown knob
+		"rate=5,slip",    // no value
+		"rate=5,slip=-1", // negative
+	} {
+		if _, err := ParseRRL(bad); err == nil {
+			t.Errorf("ParseRRL(%q): want error", bad)
+		}
+	}
+}

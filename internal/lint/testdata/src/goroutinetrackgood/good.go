@@ -47,3 +47,37 @@ func spawnWithCtxParam(work func(context.Context)) {
 		work(ctx)
 	}(context.Background())
 }
+
+// The bounded worker-pool shapes: a pool of named-function workers
+// (tracking is the caller's visible Add-before-spawn), and a
+// WaitGroup-tracked literal draining the admission queue.
+type pool struct {
+	wg    sync.WaitGroup
+	queue chan func()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		job()
+	}
+}
+
+func (p *pool) start(n int) {
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+}
+
+func (p *pool) startLiteral(n int) {
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.queue {
+				job()
+			}
+		}()
+	}
+}

@@ -172,13 +172,18 @@ var InjectionMarker = netip.MustParsePrefix("198.18.53.0/24")
 // DetectInjection runs the acceptance pre-test of the paper's
 // methodology: send one query with a marker ECS prefix and check whether
 // the resolver conveyed that exact prefix upstream. It must run before
-// the cache trials and sets CanInject on success.
-func (p *Prober) DetectInjection() bool {
-	name := p.uniqueName()
+// the cache trials and sets CanInject on success. The error is non-nil
+// only for configuration faults (an unencodable trial name); a resolver
+// that ignores the marker is (false, nil).
+func (p *Prober) DetectInjection() (bool, error) {
+	name, err := p.uniqueName()
+	if err != nil {
+		return false, err
+	}
 	mark := p.Logs.Len()
 	cs := ecsopt.MustNew(InjectionMarker.Addr(), InjectionMarker.Bits())
 	if err := p.Send(0, name, &cs); err != nil {
-		return false
+		return false, nil
 	}
 	for _, rec := range p.Logs.Since(mark) {
 		if rec.Name != name || !rec.QueryHasECS {
@@ -189,10 +194,10 @@ func (p *Prober) DetectInjection() bool {
 			got.Covers(InjectionMarker.Addr(), int(min8(got.SourcePrefix, 24))) &&
 			got.SourcePrefix >= 20 {
 			p.CanInject = true
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 func min8(a uint8, b uint8) uint8 {
@@ -202,7 +207,7 @@ func min8(a uint8, b uint8) uint8 {
 	return b
 }
 
-func (p *Prober) uniqueName() dnswire.Name {
+func (p *Prober) uniqueName() (dnswire.Name, error) {
 	p.trial++
 	if p.names == nil {
 		p.names = make(map[dnswire.Name]bool)
@@ -210,10 +215,10 @@ func (p *Prober) uniqueName() dnswire.Name {
 	// The mark position keys uniqueness across probers sharing one log.
 	n, err := p.Zone.Prepend(fmt.Sprintf("t%d-%d", p.Logs.Len(), p.trial))
 	if err != nil {
-		panic(err)
+		return "", fmt.Errorf("scanner: bad probe zone %q: %w", p.Zone, err)
 	}
 	p.names[n] = true
-	return n
+	return n, nil
 }
 
 // countArrivals counts authority log records for name since mark.
@@ -229,9 +234,12 @@ func (p *Prober) countArrivals(mark int, name dnswire.Name) int {
 
 // pairTrial runs one two-query trial under the given authority scope and
 // returns the upstream arrival count.
-func (p *Prober) pairTrial(scope authority.ScopeFunc, v1, v2 int) int {
+func (p *Prober) pairTrial(scope authority.ScopeFunc, v1, v2 int) (int, error) {
 	p.Scope.Set(scope)
-	name := p.uniqueName()
+	name, err := p.uniqueName()
+	if err != nil {
+		return 0, err
+	}
 	mark := p.Logs.Len()
 	var i1, i2 *ecsopt.ClientSubnet
 	if p.CanInject {
@@ -241,22 +249,36 @@ func (p *Prober) pairTrial(scope authority.ScopeFunc, v1, v2 int) int {
 	}
 	p.Send(v1, name, i1)
 	p.Send(v2, name, i2)
-	return p.countArrivals(mark, name)
+	return p.countArrivals(mark, name), nil
 }
 
-// Probe runs the full trial suite and collects the observation.
-func (p *Prober) Probe() CacheObservation {
+// Probe runs the full trial suite and collects the observation. It
+// fails only on configuration faults (an unencodable trial name); a
+// partial observation is still returned in that case.
+func (p *Prober) Probe() (CacheObservation, error) {
 	obs := CacheObservation{CanInject: p.CanInject}
 
-	obs.ArrivalsScope24 = p.pairTrial(authority.ScopeFixed(24), 0, 1)
-	obs.ArrivalsScope16 = p.pairTrial(authority.ScopeFixed(16), 0, 1)
-	obs.ArrivalsScope0 = p.pairTrial(authority.ScopeFixed(0), 0, 1)
-	obs.ArrivalsSameSlash22 = p.pairTrial(authority.ScopeFixed(24), 0, 2)
+	var err error
+	if obs.ArrivalsScope24, err = p.pairTrial(authority.ScopeFixed(24), 0, 1); err != nil {
+		return obs, err
+	}
+	if obs.ArrivalsScope16, err = p.pairTrial(authority.ScopeFixed(16), 0, 1); err != nil {
+		return obs, err
+	}
+	if obs.ArrivalsScope0, err = p.pairTrial(authority.ScopeFixed(0), 0, 1); err != nil {
+		return obs, err
+	}
+	if obs.ArrivalsSameSlash22, err = p.pairTrial(authority.ScopeFixed(24), 0, 2); err != nil {
+		return obs, err
+	}
 
 	if p.CanInject {
 		// Two /28s inside vantage 0's /24 under scope echo.
 		p.Scope.Set(authority.ScopeEcho())
-		name := p.uniqueName()
+		name, err := p.uniqueName()
+		if err != nil {
+			return obs, err
+		}
 		mark := p.Logs.Len()
 		base := InjectionPrefixes[0].Addr().As4()
 		a := base
@@ -272,7 +294,10 @@ func (p *Prober) Probe() CacheObservation {
 		// Scope exceeding source: authority claims scope 32 for a /24
 		// query; a compliant resolver clamps to /24 and reuses.
 		p.Scope.Set(authority.ScopeFixed(32))
-		name = p.uniqueName()
+		name, err = p.uniqueName()
+		if err != nil {
+			return obs, err
+		}
 		mark = p.Logs.Len()
 		d1 := ecsopt.MustNew(InjectionPrefixes[0].Addr(), 24)
 		p.Send(0, name, &d1)
@@ -299,7 +324,10 @@ func (p *Prober) Probe() CacheObservation {
 	}
 	// What does a presented /24 turn into? Replay a dedicated trial.
 	p.Scope.Set(authority.ScopeFixed(24))
-	name := p.uniqueName()
+	name, err := p.uniqueName()
+	if err != nil {
+		return obs, err
+	}
 	mark := p.Logs.Len()
 	var inj *ecsopt.ClientSubnet
 	if p.CanInject {
@@ -312,5 +340,5 @@ func (p *Prober) Probe() CacheObservation {
 			obs.ConveyedBitsForInjected24 = rec.QueryECS.SourcePrefix
 		}
 	}
-	return obs
+	return obs, nil
 }

@@ -28,15 +28,17 @@ import (
 
 // EncodeProbeName embeds the probed ingress address into a hostname
 // under zone, following the technique of Dagon et al. the paper uses:
-// "p-1-2-3-4.<zone>".
-func EncodeProbeName(target netip.Addr, zone dnswire.Name) dnswire.Name {
+// "p-1-2-3-4.<zone>". It fails when the zone is too long to take the
+// probe label — a config error that must not kill a long-running scan,
+// so it is reported rather than panicking.
+func EncodeProbeName(target netip.Addr, zone dnswire.Name) (dnswire.Name, error) {
 	a := target.As4()
 	label := fmt.Sprintf("p-%d-%d-%d-%d", a[0], a[1], a[2], a[3])
 	n, err := zone.Prepend(label)
 	if err != nil {
-		panic("scanner: bad probe zone: " + err.Error())
+		return "", fmt.Errorf("scanner: bad probe zone %q: %w", zone, err)
 	}
-	return n
+	return n, nil
 }
 
 // DecodeProbeName recovers the probed address from a probe hostname.
@@ -181,7 +183,11 @@ func (s *Scan) RunContext(ctx context.Context, ingresses []netip.Addr, logs *Log
 			ctx, cancel = context.WithTimeout(ctx, s.Timeout)
 			defer cancel()
 		}
-		q := dnswire.NewQuery(s.randID(), EncodeProbeName(ing, s.Zone), dnswire.TypeA)
+		probeName, err := EncodeProbeName(ing, s.Zone)
+		if err != nil {
+			return err
+		}
+		q := dnswire.NewQuery(s.randID(), probeName, dnswire.TypeA)
 		resp, err := exchange(ctx, ing, q)
 		if err != nil || resp == nil {
 			if s.Progress != nil && isTimeoutErr(err) {

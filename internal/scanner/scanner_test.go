@@ -3,6 +3,7 @@ package scanner
 import (
 	"context"
 	"net/netip"
+	"strings"
 	"sync"
 	"testing"
 
@@ -17,7 +18,10 @@ import (
 func TestProbeNameCodec(t *testing.T) {
 	zone := dnswire.MustParseName("scan.example.org")
 	addr := netip.MustParseAddr("203.0.113.77")
-	name := EncodeProbeName(addr, zone)
+	name, err := EncodeProbeName(addr, zone)
+	if err != nil {
+		t.Fatalf("EncodeProbeName: %v", err)
+	}
 	if name != "p-203-0-113-77.scan.example.org." {
 		t.Fatalf("encoded = %s", name)
 	}
@@ -32,6 +36,54 @@ func TestProbeNameCodec(t *testing.T) {
 		if _, ok := DecodeProbeName(bad); ok {
 			t.Errorf("decoded invalid name %s", bad)
 		}
+	}
+}
+
+// TestEncodeProbeNameBadZone is the regression test for the panic this
+// function used to raise: a zone too long to take the probe label must
+// come back as an error so one bad config can't kill a long scan.
+func TestEncodeProbeNameBadZone(t *testing.T) {
+	long := strings.Repeat("a23456789012345678901234567890123456789012345678901234567890123.", 4)
+	zone := dnswire.Name(long[:len(long)-2] + ".")
+	if _, err := EncodeProbeName(netip.MustParseAddr("192.0.2.1"), zone); err == nil {
+		t.Fatal("EncodeProbeName on an over-long zone must fail, not panic")
+	}
+}
+
+// TestScanPropagatesBadZone drives RunContext with an unencodable zone:
+// every probe must come back as a job error — not a process-killing
+// panic inside the engine's workers.
+func TestScanPropagatesBadZone(t *testing.T) {
+	long := strings.Repeat("a23456789012345678901234567890123456789012345678901234567890123.", 4)
+	s := &Scan{
+		Exchange: func(to netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+			t.Error("exchange reached despite unencodable probe name")
+			return nil, nil
+		},
+		Zone: dnswire.Name(long[:len(long)-2] + "."),
+	}
+	res := s.Run([]netip.Addr{netip.MustParseAddr("192.0.2.1")}, &LogBuffer{})
+	if len(res.Responding) != 0 {
+		t.Fatalf("responding = %v, want none", res.Responding)
+	}
+}
+
+// TestProberBadZoneReturnsError covers the uniqueName error path: both
+// prober entry points must surface the config fault instead of
+// panicking mid-campaign.
+func TestProberBadZoneReturnsError(t *testing.T) {
+	long := strings.Repeat("a23456789012345678901234567890123456789012345678901234567890123.", 4)
+	p := &Prober{
+		Zone:  dnswire.Name(long[:len(long)-2] + "."),
+		Logs:  &LogBuffer{},
+		Scope: NewScopeControl(),
+		Send:  func(int, dnswire.Name, *ecsopt.ClientSubnet) error { return nil },
+	}
+	if _, err := p.DetectInjection(); err == nil {
+		t.Fatal("DetectInjection with an unencodable zone must fail")
+	}
+	if _, err := p.Probe(); err == nil {
+		t.Fatal("Probe with an unencodable zone must fail")
 	}
 }
 
@@ -321,10 +373,31 @@ func proberFor(t *testing.T, rg *scanRig, res *resolver.Resolver, canInject bool
 	}
 }
 
+// mustProbe and mustDetect run the fallible prober entry points and
+// fail the test on the configuration-fault path, which no rig here
+// should hit.
+func mustProbe(t *testing.T, p *Prober) CacheObservation {
+	t.Helper()
+	obs, err := p.Probe()
+	if err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	return obs
+}
+
+func mustDetect(t *testing.T, p *Prober) bool {
+	t.Helper()
+	ok, err := p.DetectInjection()
+	if err != nil {
+		t.Fatalf("DetectInjection: %v", err)
+	}
+	return ok
+}
+
 func TestProbeClassifiesCompliantResolver(t *testing.T) {
 	rg := newScanRig(t)
 	res := rg.addResolver("London", 3, resolver.CompliantProfile())
-	obs := proberFor(t, rg, res, true).Probe()
+	obs := mustProbe(t, proberFor(t, rg, res, true))
 	if got := Classify(obs); got != CachingCorrect {
 		t.Fatalf("classified %v, obs=%+v", got, obs)
 	}
@@ -342,7 +415,7 @@ func TestProbeClassifiesCompliantResolver(t *testing.T) {
 func TestProbeClassifiesCompliantViaForwarders(t *testing.T) {
 	rg := newScanRig(t)
 	res := rg.addResolver("London", 3, resolver.GoogleLikeProfile())
-	obs := proberFor(t, rg, res, false).Probe()
+	obs := mustProbe(t, proberFor(t, rg, res, false))
 	if got := Classify(obs); got != CachingCorrect {
 		t.Fatalf("classified %v, obs=%+v", got, obs)
 	}
@@ -351,7 +424,7 @@ func TestProbeClassifiesCompliantViaForwarders(t *testing.T) {
 func TestProbeClassifiesIgnoreScope(t *testing.T) {
 	rg := newScanRig(t)
 	res := rg.addResolver("London", 3, resolver.IgnoreScopeProfile())
-	obs := proberFor(t, rg, res, false).Probe()
+	obs := mustProbe(t, proberFor(t, rg, res, false))
 	if obs.ArrivalsScope24 != 1 {
 		t.Fatalf("scope-24 arrivals = %d, want 1", obs.ArrivalsScope24)
 	}
@@ -363,7 +436,7 @@ func TestProbeClassifiesIgnoreScope(t *testing.T) {
 func TestProbeClassifiesLongPrefixAcceptor(t *testing.T) {
 	rg := newScanRig(t)
 	res := rg.addResolver("London", 3, resolver.LongPrefixProfile())
-	obs := proberFor(t, rg, res, true).Probe()
+	obs := mustProbe(t, proberFor(t, rg, res, true))
 	if obs.MaxConveyedBits != 28 {
 		t.Fatalf("max conveyed = %d, want 28", obs.MaxConveyedBits)
 	}
@@ -378,7 +451,7 @@ func TestProbeClassifiesLongPrefixAcceptor(t *testing.T) {
 func TestProbeClassifiesCap22(t *testing.T) {
 	rg := newScanRig(t)
 	res := rg.addResolver("London", 3, resolver.Cap22Profile())
-	obs := proberFor(t, rg, res, true).Probe()
+	obs := mustProbe(t, proberFor(t, rg, res, true))
 	if obs.ConveyedBitsForInjected24 != 22 {
 		t.Fatalf("conveyed for /24 = %d, want 22", obs.ConveyedBitsForInjected24)
 	}
@@ -393,7 +466,7 @@ func TestProbeClassifiesCap22(t *testing.T) {
 func TestProbeClassifiesPrivatePrefix(t *testing.T) {
 	rg := newScanRig(t)
 	res := rg.addResolver("London", 3, resolver.PrivatePrefixProfile())
-	obs := proberFor(t, rg, res, false).Probe()
+	obs := mustProbe(t, proberFor(t, rg, res, false))
 	if !obs.ConveyedPrivate {
 		t.Fatalf("private prefix not observed: %+v", obs)
 	}
@@ -441,7 +514,7 @@ func TestDetectInjection(t *testing.T) {
 	accepting := rg.addResolver("London", 3, resolver.CompliantProfile())
 	p := proberFor(t, rg, accepting, true)
 	p.CanInject = false
-	if !p.DetectInjection() {
+	if !mustDetect(t, p) {
 		t.Fatal("accepting resolver not detected")
 	}
 	if !p.CanInject {
@@ -451,7 +524,7 @@ func TestDetectInjection(t *testing.T) {
 	overriding := rg.addResolver("Paris", 4, resolver.GoogleLikeProfile())
 	p2 := proberFor(t, rg, overriding, true)
 	p2.CanInject = false
-	if p2.DetectInjection() {
+	if mustDetect(t, p2) {
 		t.Fatal("sender-deriving resolver detected as accepting")
 	}
 	// Cap-22 resolvers truncate the marker but still accept it (they
@@ -459,7 +532,7 @@ func TestDetectInjection(t *testing.T) {
 	capper := rg.addResolver("Madrid", 5, resolver.Cap22Profile())
 	p3 := proberFor(t, rg, capper, true)
 	p3.CanInject = false
-	if !p3.DetectInjection() {
+	if !mustDetect(t, p3) {
 		t.Fatal("cap-22 resolver not detected as accepting")
 	}
 }

@@ -38,6 +38,13 @@ go test ./...
 stage "go test -race ./..."
 go test -race ./...
 
+# The serving layer under overload, replayed: flood at a multiple of the
+# admission capacity with panicking queries, plus the exact RRL storm.
+# -short trims the flood factor so the replay stays inside a small
+# budget; the full-scale variant already ran in the race suite above.
+stage "overload chaostest (flood + RRL storm, -race, replay x2)"
+go test -race -short -count=2 -run 'TestOverload|TestRRLStorm' ./internal/netem/chaostest
+
 stage "fuzz smoke tests (${FUZZTIME} each)"
 go test -fuzz FuzzUnpack    -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
 go test -fuzz FuzzNameParse -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
