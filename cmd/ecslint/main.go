@@ -3,15 +3,22 @@
 //	go run ./cmd/ecslint ./...          # lint the whole module
 //	go run ./cmd/ecslint -list          # show the registered checks
 //	go run ./cmd/ecslint -disable mutexhold ./...
+//	go run ./cmd/ecslint -json ./...    # machine-readable output
 //
 // Findings print one per line as `file:line: [check] message`, sorted,
 // and any finding makes the exit status 1 (2 = usage or load failure).
 // Suppress a single line with an annotated directive:
 //
 //	conn.SetDeadline(time.Now().Add(d)) //ecslint:ignore wallclock real socket deadline
+//
+// With -json, output is a single stable object listing both active and
+// suppressed findings; suppressed entries carry the ignore directive's
+// justification in "ignoredBy". Only active findings affect the exit
+// status.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +26,22 @@ import (
 
 	"ecsdns/internal/lint"
 )
+
+// jsonFinding is the stable -json schema for one diagnostic. Field
+// names are part of the CLI contract (CI problem matchers and editor
+// integrations parse them); add fields, never rename.
+type jsonFinding struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Check     string `json:"check"`
+	Message   string `json:"message"`
+	IgnoredBy string `json:"ignoredBy,omitempty"`
+}
+
+type jsonOutput struct {
+	Findings []jsonFinding `json:"findings"`
+}
 
 func main() {
 	os.Exit(run())
@@ -30,6 +53,7 @@ func run() int {
 	list := fs.Bool("list", false, "list registered checks and exit")
 	enable := fs.String("enable", "", "comma-separated checks to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated checks to skip")
+	jsonOut := fs.Bool("json", false, "emit findings (active and suppressed) as JSON")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ecslint [flags] [packages]\n")
 		fs.PrintDefaults()
@@ -88,12 +112,35 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ecslint: %v\n", err)
 		return 2
 	}
-	findings := lint.Run(pkgs, cfg)
-	for _, f := range findings {
-		fmt.Println(f)
+	findings, suppressed := lint.RunAll(pkgs, cfg)
+	if *jsonOut {
+		out := jsonOutput{Findings: []jsonFinding{}}
+		for _, f := range findings {
+			out.Findings = append(out.Findings, jsonFinding{
+				File: f.File, Line: f.Line, Col: f.Col, Check: f.Check, Message: f.Msg,
+			})
+		}
+		for _, f := range suppressed {
+			out.Findings = append(out.Findings, jsonFinding{
+				File: f.File, Line: f.Line, Col: f.Col, Check: f.Check, Message: f.Msg,
+				IgnoredBy: f.IgnoredBy,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ecslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "ecslint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "ecslint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
 		return 1
 	}
 	return 0

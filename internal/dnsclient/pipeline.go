@@ -293,6 +293,7 @@ func (p *Pipeline) attempt(ctx context.Context, raddr *net.UDPAddr, dest string,
 	q.ID = id
 	dnswire.PatchID(data, id)
 	pc := p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	//ecslint:ignore ctxflow a UDP datagram send does not block on the peer; the cancellable wait happens in the select on ch below
 	if _, err := pc.WriteTo(data, raddr); err != nil {
 		return nil, err
 	}

@@ -352,6 +352,10 @@ func (s *Server) udpWorker(pc net.PacketConn) {
 	}
 }
 
+// serveUDPPacket classifies one admitted datagram: RRL refusal (shed or
+// slipped), then decode-and-dispatch via process.
+//
+//ecsinvariant:handler counters
 func (s *Server) serveUDPPacket(pc net.PacketConn, p udpPacket) {
 	if s.rrl != nil {
 		switch s.rrl.decide(p.from.Addr()) {
@@ -494,6 +498,8 @@ func (s *Server) serveConn(conn net.Conn) {
 // callers can consult the query's EDNS advertisement without unpacking
 // the packet again. A nil response means "send nothing"; query is nil
 // when the packet did not parse (undecodable or header-only).
+//
+//ecsinvariant:handler counters
 func (s *Server) process(from netip.Addr, pkt []byte) (resp, query *dnswire.Message) {
 	query, err := dnswire.Unpack(pkt)
 	if err != nil {
@@ -520,6 +526,8 @@ func (s *Server) process(from netip.Addr, pkt []byte) (resp, query *dnswire.Mess
 // handle runs the handler for one parsed query, recovering a panic into
 // a counted SERVFAIL so a buggy or hostile flow cannot take down every
 // experiment sharing the process.
+//
+//ecsinvariant:handler counters
 func (s *Server) handle(from netip.Addr, query *dnswire.Message) (resp *dnswire.Message) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -5,7 +5,12 @@ import (
 	"sync/atomic"
 )
 
-// counters is the server's internal atomic accounting.
+// counters is the server's internal atomic accounting. The outcome
+// partition below is machine-checked: ecslint's counterpartition check
+// proves every exit path of the annotated handler functions increments
+// exactly one term.
+//
+//ecsinvariant:partition received = answered + shed + slipped + malformed + panics
 type counters struct {
 	received, answered, shed, rrlDropped, slipped, malformed, panics atomic.Int64
 	inflight, conns, connsTotal, connsRejected                       atomic.Int64

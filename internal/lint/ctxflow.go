@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ecsdns/internal/lint/flow"
+)
+
+// ctxflowCheck enforces, in the transport and simulation packages, that
+// a function's context.Context actually reaches every blocking
+// operation on every path. The bug class: a handler accepts ctx, then
+// parks on a bare channel op, a time.Sleep, or deadline-less socket
+// I/O — cancellation is dropped exactly where it was needed, and
+// Shutdown hangs behind it.
+//
+// The analysis is flow-sensitive (must-analysis over the CFG): the set
+// of live contexts starts with the function's context parameters (plus
+// contexts captured from enclosing functions, for literals), grows
+// through context.With* derivations, and dies when a variable is
+// overwritten with context.Background()/TODO(). At each potentially
+// blocking node the check requires a context-aware form:
+//
+//   - a select needs a `<-ctx.Done()` case (or a default);
+//   - channel sends/receives must sit inside such a select;
+//   - time.Sleep is flagged outright (select on time.After + ctx.Done);
+//   - conn I/O must be preceded on every path by a Set*Deadline on the
+//     same endpoint, the idiom that makes cancellation able to unblock
+//     it;
+//   - passing context.Background()/TODO() onward while a live caller
+//     ctx exists is a dropped cancellation;
+//   - calling a same-package function that blocks but accepts no
+//     context is flagged through the call-graph summary layer.
+//
+// Functions with no context in scope are skipped — goroutinetrack
+// already forces spawn sites to thread one through.
+var ctxflowCheck = Check{
+	Name: "ctxflow",
+	Doc:  "context.Context does not reach a blocking operation on some path",
+	Run:  runCtxflow,
+}
+
+// ctxFacts is the must-analysis lattice: live context objects plus
+// deadline-armed endpoint expressions. univ is the top element used for
+// unreached code.
+type ctxFacts struct {
+	univ  bool
+	live  map[types.Object]bool
+	armed map[string]bool
+}
+
+func (f ctxFacts) clone() ctxFacts {
+	out := ctxFacts{live: make(map[types.Object]bool, len(f.live)), armed: make(map[string]bool, len(f.armed))}
+	for k := range f.live {
+		out.live[k] = true
+	}
+	for k := range f.armed {
+		out.armed[k] = true
+	}
+	return out
+}
+
+func runCtxflow(ctx *Context) {
+	if !pathListed(ctx.Cfg.CtxflowPackages, basePath(ctx.Pkg.ImportPath)) {
+		return
+	}
+	prog := ctx.Pkg.Flow()
+	for _, fi := range prog.Funcs {
+		if ctx.posInTestFile(fi.Body.Pos()) {
+			continue
+		}
+		params := ctxParams(ctx.Pkg, fi)
+		if len(params) == 0 {
+			continue
+		}
+		ctx.ctxflowFunc(prog, fi, params)
+	}
+}
+
+// ctxParams collects the context.Context parameters of fi and, for
+// literals, of its enclosing functions (captured contexts count).
+func ctxParams(pkg *Package, fi *flow.FuncInfo) []types.Object {
+	var out []types.Object
+	add := func(ft *ast.FuncType) {
+		if ft == nil || ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok || !isContextType(tv.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	for f := fi; f != nil; f = f.Encl {
+		if f.Decl != nil {
+			add(f.Decl.Type)
+		} else if f.Lit != nil {
+			add(f.Lit.Type)
+		}
+	}
+	return out
+}
+
+func (c *Context) ctxflowFunc(prog *flow.Program, fi *flow.FuncInfo, params []types.Object) {
+	entry := ctxFacts{live: make(map[types.Object]bool), armed: make(map[string]bool)}
+	for _, p := range params {
+		entry.live[p] = true
+	}
+	analysis := flow.Analysis[ctxFacts]{
+		Entry:     entry,
+		Unreached: ctxFacts{univ: true},
+		Join: func(a, b ctxFacts) ctxFacts {
+			if a.univ {
+				return b
+			}
+			if b.univ {
+				return a
+			}
+			out := ctxFacts{live: make(map[types.Object]bool), armed: make(map[string]bool)}
+			for k := range a.live {
+				if b.live[k] {
+					out.live[k] = true
+				}
+			}
+			for k := range a.armed {
+				if b.armed[k] {
+					out.armed[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b ctxFacts) bool {
+			if a.univ != b.univ || len(a.live) != len(b.live) || len(a.armed) != len(b.armed) {
+				return false
+			}
+			for k := range a.live {
+				if !b.live[k] {
+					return false
+				}
+			}
+			for k := range a.armed {
+				if !b.armed[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, in ctxFacts) ctxFacts {
+			return c.ctxTransfer(n, in)
+		},
+	}
+	g := fi.CFG()
+	res := flow.Solve(g, analysis)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			fact := res.Before(blk, i)
+			if fact.univ {
+				continue // unreached
+			}
+			c.ctxReportNode(prog, n, fact)
+		}
+	}
+}
+
+// ctxTransfer updates liveness and deadline arming through one node.
+func (c *Context) ctxTransfer(n ast.Node, in ctxFacts) ctxFacts {
+	if in.univ {
+		in = ctxFacts{live: map[types.Object]bool{}, armed: map[string]bool{}}
+	}
+	out := in
+	copied := false
+	mutate := func() {
+		if !copied {
+			out = in.clone()
+			copied = true
+		}
+	}
+	// Context variable assignments.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		dead := len(as.Rhs) == 1 && isBackgroundCall(c.Pkg, as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = c.Pkg.Info.Uses[id]
+			}
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			mutate()
+			if dead {
+				delete(out.live, obj)
+			} else {
+				// Any other context value (derivation, copy, receive) is
+				// assumed to carry the caller's cancellation.
+				out.live[obj] = true
+			}
+		}
+	}
+	// Deadline arming: Set*Deadline on a conn-like endpoint.
+	flow.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+			if tv, ok := c.Pkg.Info.Types[sel.X]; ok && isNetConnLike(tv.Type) {
+				mutate()
+				out.armed[exprString(c.Pkg.Fset, sel.X)] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ctxReportNode flags context-dropping blocking operations in one node.
+func (c *Context) ctxReportNode(prog *flow.Program, n ast.Node, fact ctxFacts) {
+	switch x := n.(type) {
+	case *flow.SelectHead:
+		if !selectHasDefault(x.Stmt) && !selectHasDoneCase(c.Pkg, x.Stmt) {
+			c.Reportf(x.Stmt.Pos(), "select blocks without a <-ctx.Done() case; cancellation cannot unblock it")
+		}
+		return
+	case *flow.CommNode, *flow.RangeHead:
+		// Comm ops are judged at the SelectHead; range-over-channel is
+		// the cancellation-via-close drain idiom and stays legal.
+		return
+	case *ast.SendStmt:
+		c.Reportf(x.Pos(), "channel send outside a select; wrap it in a select with a <-ctx.Done() case")
+		return
+	case *ast.DeferStmt, *ast.GoStmt:
+		return // deferred calls and goroutine bodies run elsewhere
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !isDoneRecv(c.Pkg, x.X) {
+				c.Reportf(x.Pos(), "channel receive outside a select; wrap it in a select with a <-ctx.Done() case")
+			}
+		case *ast.CallExpr:
+			c.ctxReportCall(prog, x, fact)
+		}
+		return true
+	})
+}
+
+func (c *Context) ctxReportCall(prog *flow.Program, call *ast.CallExpr, fact ctxFacts) {
+	// Dropped cancellation: handing context.Background()/TODO() onward
+	// while a live caller context exists.
+	if len(fact.live) > 0 {
+		for _, arg := range call.Args {
+			if isBackgroundCall(c.Pkg, arg) {
+				c.Reportf(arg.Pos(), "drops the caller's context: pass the live ctx instead of %s", backgroundName(c.Pkg, arg))
+			}
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if ok {
+		if fn, ok := c.Pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+			// time.Sleep cannot observe cancellation at all.
+			if isPkgFunc(fn, "time") && fn.Name() == "Sleep" {
+				c.Reportf(call.Pos(), "time.Sleep ignores ctx; use a select on time.After and ctx.Done()")
+				return
+			}
+			// Clock.Sleep on an injected clock is the simulated analogue.
+			if fn.Name() == "Sleep" && !callPassesContext(c.Pkg, call) {
+				if named, okN := derefNamed(recvType(fn)); okN && named.Obj().Name() == "Clock" {
+					c.Reportf(call.Pos(), "Clock.Sleep ignores ctx; use a cancellable wait")
+					return
+				}
+			}
+			// Deadline-less conn I/O: cancellation cannot unblock it.
+			switch fn.Name() {
+			case "Read", "Write", "ReadFrom", "WriteTo", "ReadFromUDP", "WriteToUDP", "Accept":
+				if tv, ok := c.Pkg.Info.Types[sel.X]; ok && isNetConnLike(tv.Type) {
+					if !fact.armed[exprString(c.Pkg.Fset, sel.X)] && !callPassesContext(c.Pkg, call) {
+						c.Reportf(call.Pos(), "network I/O on %s with no deadline set on any path; a Set*Deadline is what lets cancellation unblock it",
+							exprString(c.Pkg.Fset, sel.X))
+					}
+					return
+				}
+			}
+		}
+	}
+	// Call-graph summary, one level: a same-package callee that blocks
+	// but accepts no context swallows cancellation for every caller.
+	if callPassesContext(c.Pkg, call) {
+		return
+	}
+	callee := prog.StaticCallee(call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg() != c.Pkg.Types {
+		return
+	}
+	fi := prog.FuncOf(callee)
+	if fi == nil {
+		return
+	}
+	if blocksWithoutContext(c.Pkg, fi) {
+		c.Reportf(call.Pos(), "calls %s, which blocks (channel op or sleep) but accepts no context; thread ctx through it", callee.Name())
+	}
+}
+
+// blocksWithoutContext reports whether fi takes no context parameter
+// yet contains a definitely-blocking operation on its synchronous path.
+func blocksWithoutContext(pkg *Package, fi *flow.FuncInfo) bool {
+	if len(ctxParams(pkg, fi)) > 0 {
+		return false
+	}
+	blocking := false
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		if blocking {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				blocking = true
+			}
+			return false // comm ops inside are the select's business
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				blocking = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+					isPkgFunc(fn, "time") && fn.Name() == "Sleep" {
+					blocking = true
+				}
+			}
+		}
+		return true
+	})
+	return blocking
+}
+
+// selectHasDoneCase reports whether any comm case receives from a
+// Done() call on a context-typed value.
+func selectHasDoneCase(pkg *Package, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		comm, ok := cl.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(comm.Comm, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW && isDoneRecv(pkg, u.X) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneRecv reports whether e is a Done() call on a context value.
+func isDoneRecv(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+// isBackgroundCall reports whether e is context.Background() or
+// context.TODO().
+func isBackgroundCall(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return isPkgFunc(fn, "context") && (fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+func backgroundName(pkg *Package, e ast.Expr) string {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return "context." + sel.Sel.Name + "()"
+		}
+	}
+	return "context.Background()"
+}
+
+// callPassesContext reports whether any argument of call is
+// context-typed.
+func callPassesContext(pkg *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := pkg.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}

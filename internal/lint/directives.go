@@ -7,8 +7,8 @@ import (
 
 // ignoreDirective is one parsed //ecslint:ignore comment. Checks is the
 // set of check names it suppresses; Line is the source line the
-// suppression applies to (the comment's own line, or the next line when
-// the comment stands alone).
+// suppression anchors to (the comment's own line, or the next line when
+// the comment stands alone above the annotated statement).
 //
 // Syntax:
 //
@@ -16,11 +16,18 @@ import (
 //
 // A justification is required: a directive without one is itself
 // reported, so every suppression carries its reason in the source.
+//
+// The suppression covers the full source span of the smallest statement
+// (or declaration, or struct field) starting on the anchor line, so a
+// call broken across several lines is covered by one directive above it.
+// For statements that carry a block (if/for/switch/select, function
+// declarations) the span stops at the opening brace: a directive on the
+// loop header never blankets the loop body.
 type ignoreDirective struct {
 	file    string
 	line    int
 	checks  map[string]bool
-	hasWhy  bool
+	why     string
 	comment *ast.Comment
 }
 
@@ -28,7 +35,7 @@ const ignorePrefix = "//ecslint:ignore"
 
 // parseIgnores extracts the ignore directives from one parsed file.
 // src is the file's raw bytes, used to decide whether a directive stands
-// alone on its line (in which case it suppresses the following line).
+// alone on its line (in which case it anchors to the following line).
 func parseIgnores(pkg *Package, f *ast.File, src []byte) []ignoreDirective {
 	var out []ignoreDirective
 	lines := strings.Split(string(src), "\n")
@@ -51,7 +58,7 @@ func parseIgnores(pkg *Package, f *ast.File, src []byte) []ignoreDirective {
 				file:    pos.Filename,
 				line:    pos.Line,
 				checks:  make(map[string]bool),
-				hasWhy:  len(fields) > 1,
+				why:     strings.Join(fields[1:], " "),
 				comment: c,
 			}
 			for _, name := range strings.Split(fields[0], ",") {
@@ -59,7 +66,7 @@ func parseIgnores(pkg *Package, f *ast.File, src []byte) []ignoreDirective {
 					d.checks[name] = true
 				}
 			}
-			// A directive alone on its line suppresses the next line —
+			// A directive alone on its line anchors to the next line —
 			// the annotated statement sits below the comment.
 			if pos.Line-1 < len(lines) {
 				before := lines[pos.Line-1]
@@ -73,15 +80,73 @@ func parseIgnores(pkg *Package, f *ast.File, src []byte) []ignoreDirective {
 	return out
 }
 
-// applyIgnores drops findings suppressed by a matching directive on
-// their exact line, and reports malformed directives (no justification,
-// or naming an unknown check) so annotations stay honest.
-func applyIgnores(pkgs []*Package, findings []Finding) []Finding {
-	type key struct {
-		file string
-		line int
+// directiveEndLine extends a directive anchored at line to the last line
+// of the smallest statement, declaration, spec, or field starting there.
+// Block-bearing statements stop at their opening brace. Returns line
+// itself when nothing starts on it.
+func directiveEndLine(pkg *Package, f *ast.File, line int) int {
+	end := line
+	bestSpan := -1
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field:
+		default:
+			return true
+		}
+		if pkg.Fset.Position(n.Pos()).Line != line {
+			return true
+		}
+		span := int(n.End() - n.Pos())
+		if bestSpan >= 0 && span >= bestSpan {
+			return true
+		}
+		bestSpan = span
+		stop := n.End()
+		// Cap block-bearing statements at the block start: the directive
+		// covers the header, not the body.
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			stop = x.Body.Pos()
+		case *ast.ForStmt:
+			stop = x.Body.Pos()
+		case *ast.RangeStmt:
+			stop = x.Body.Pos()
+		case *ast.SwitchStmt:
+			stop = x.Body.Pos()
+		case *ast.TypeSwitchStmt:
+			stop = x.Body.Pos()
+		case *ast.SelectStmt:
+			stop = x.Body.Pos()
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				stop = x.Body.Pos()
+			}
+		}
+		end = pkg.Fset.Position(stop).Line
+		return true
+	})
+	if end < line {
+		end = line
 	}
-	ignores := make(map[key]map[string]bool)
+	return end
+}
+
+// ignoreSpan is one resolved suppression region.
+type ignoreSpan struct {
+	startLine, endLine int
+	checks             map[string]bool
+	why                string
+}
+
+// applyIgnores splits findings into the active set and the suppressed
+// set (matched by a directive covering their line, IgnoredBy filled with
+// the directive's justification). Malformed directives — no
+// justification, or naming an unknown check — are themselves reported.
+func applyIgnores(pkgs []*Package, findings []Finding) (active, suppressed []Finding) {
+	ignores := make(map[string][]ignoreSpan) // module-relative file -> spans
 	known := make(map[string]bool)
 	for _, c := range AllChecks() {
 		known[c.Name] = true
@@ -91,12 +156,18 @@ func applyIgnores(pkgs []*Package, findings []Finding) []Finding {
 			for _, d := range parseIgnores(pkg, f, pkg.Sources[i]) {
 				pos := pkg.Fset.Position(d.comment.Pos())
 				file := relToModule(pkg.ModuleDir, d.file)
-				if !d.hasWhy {
+				if d.why == "" {
 					findings = append(findings, Finding{
 						File: file, Line: pos.Line, Col: pos.Column,
 						Check: "directive",
 						Msg:   "ecslint:ignore needs a justification: //ecslint:ignore <check> <why>",
 					})
+				}
+				span := ignoreSpan{
+					startLine: d.line,
+					endLine:   directiveEndLine(pkg, f, d.line),
+					checks:    make(map[string]bool),
+					why:       d.why,
 				}
 				for name := range d.checks {
 					if !known[name] {
@@ -107,21 +178,33 @@ func applyIgnores(pkgs []*Package, findings []Finding) []Finding {
 						})
 						continue
 					}
-					k := key{file: file, line: d.line}
-					if ignores[k] == nil {
-						ignores[k] = make(map[string]bool)
-					}
-					ignores[k][name] = true
+					span.checks[name] = true
+				}
+				if len(span.checks) > 0 {
+					ignores[file] = append(ignores[file], span)
 				}
 			}
 		}
 	}
-	out := findings[:0]
+	active = findings[:0]
 	for _, f := range findings {
-		if ignores[key{file: f.File, line: f.Line}][f.Check] {
+		why, ok := matchIgnore(ignores[f.File], f)
+		if ok {
+			f.IgnoredBy = why
+			suppressed = append(suppressed, f)
 			continue
 		}
-		out = append(out, f)
+		active = append(active, f)
 	}
-	return out
+	return active, suppressed
+}
+
+// matchIgnore finds the first span covering the finding's line and check.
+func matchIgnore(spans []ignoreSpan, f Finding) (string, bool) {
+	for _, s := range spans {
+		if f.Line >= s.startLine && f.Line <= s.endLine && s.checks[f.Check] {
+			return s.why, true
+		}
+	}
+	return "", false
 }

@@ -1,0 +1,493 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"ecsdns/internal/lint/flow"
+)
+
+// ecssemanticsCheck enforces the two ECS address-handling invariants the
+// paper's §8.3 bug class is made of:
+//
+// Rule A (mask before use): a netip.Addr that came from a raw source
+// (ParseAddr, AddrFrom4/16/Slice, AddrPort.Addr) must pass through a
+// masking operation (ecsopt.MaskAddr, Addr.Prefix, ClientSubnet.Addr)
+// before it is compared against a masked address, used as an Addr-keyed
+// map key, or handed to netip.PrefixFrom — which, unlike Addr.Prefix,
+// does NOT mask the host bits. An unmasked cache key silently splits one
+// subnet's entries across as many slots as it has querying clients.
+//
+// Rule B (scope ≤ source): a constructed scope prefix length must be
+// provably bounded by the source prefix — a literal 0, the subnet's own
+// SourcePrefix, a value run through ecsopt.ClampScope, or a min() with
+// the source. Echoing an authority's wire scope unclamped lets a single
+// malicious (or buggy) upstream poison cache entries with coverage
+// broader than the question asked.
+//
+// The raw/masked facts are flow-sensitive (must-analysis over the CFG:
+// an address is only "masked" if it is masked on every path reaching the
+// use), so `addr = ecsopt.MaskAddr(addr, bits)` upgrades the variable
+// from that point on.
+var ecssemanticsCheck = Check{
+	Name: "ecssemantics",
+	Doc:  "ECS address used unmasked, or scope prefix not provably ≤ source prefix",
+	Run:  runECSSemantics,
+}
+
+// addrState is the abstract value of a netip.Addr expression.
+type addrState int
+
+const (
+	addrUnknown addrState = iota
+	addrRaw
+	addrMasked
+)
+
+// addrFacts maps netip.Addr variables to their must-state. univ is the
+// unreached sentinel (identity for the intersection join).
+type addrFacts struct {
+	univ bool
+	m    map[types.Object]addrState
+}
+
+func (f addrFacts) clone() addrFacts {
+	out := addrFacts{m: make(map[types.Object]addrState, len(f.m))}
+	for k, v := range f.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+func runECSSemantics(ctx *Context) {
+	if !pathListed(ctx.Cfg.ECSSemanticsPackages, ctx.Pkg.ImportPath) {
+		return
+	}
+	prog := ctx.Pkg.Flow()
+	for _, fi := range prog.Funcs {
+		if ctx.posInTestFile(fi.Body.Pos()) {
+			continue
+		}
+		ctx.checkFuncECS(fi)
+	}
+}
+
+func (c *Context) checkFuncECS(fi *flow.FuncInfo) {
+	g := fi.CFG()
+	res := flow.Solve(g, c.addrAnalysis())
+	clamped := c.clampedVars(fi.Body)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			facts := res.Before(blk, i)
+			flow.Inspect(n, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.FuncLit:
+					return false // analyzed as its own FuncInfo
+				case *ast.CallExpr:
+					c.checkPrefixFrom(x, facts)
+					c.checkWithScope(x, clamped)
+				case *ast.BinaryExpr:
+					c.checkAddrCompare(x, facts)
+				case *ast.IndexExpr:
+					c.checkAddrMapKey(x, facts)
+				case *ast.CompositeLit:
+					c.checkSubnetLit(x, facts, clamped)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// addrAnalysis is the raw/masked must-dataflow: assignment from a raw
+// source marks the variable raw, from a masking operation masked;
+// conflicting paths drop to unknown (the intersection join keeps only
+// facts agreed on by every reaching path).
+func (c *Context) addrAnalysis() flow.Analysis[addrFacts] {
+	return flow.Analysis[addrFacts]{
+		Entry:     addrFacts{m: map[types.Object]addrState{}},
+		Unreached: addrFacts{univ: true},
+		Join: func(a, b addrFacts) addrFacts {
+			if a.univ {
+				return b
+			}
+			if b.univ {
+				return a
+			}
+			out := addrFacts{m: make(map[types.Object]addrState)}
+			for k, v := range a.m {
+				if w, ok := b.m[k]; ok && w == v {
+					out.m[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b addrFacts) bool {
+			if a.univ != b.univ || len(a.m) != len(b.m) {
+				return false
+			}
+			for k, v := range a.m {
+				if w, ok := b.m[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, in addrFacts) addrFacts {
+			if in.univ {
+				in = addrFacts{m: map[types.Object]addrState{}}
+			}
+			out := in
+			assign := func(lhs ast.Expr, rhs ast.Expr) {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj := c.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = c.Pkg.Info.Uses[id]
+				}
+				if obj == nil || !c.isNetipAddr(obj.Type()) {
+					return
+				}
+				st := c.classifyAddr(rhs, out)
+				if out.m[obj] == st {
+					return
+				}
+				out = out.clone()
+				if st == addrUnknown {
+					delete(out.m, obj)
+				} else {
+					out.m[obj] = st
+				}
+			}
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						assign(x.Lhs[i], x.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) == len(x.Values) {
+					for i := range x.Names {
+						assign(x.Names[i], x.Values[i])
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+// classifyAddr determines the abstract state of a netip.Addr expression.
+func (c *Context) classifyAddr(e ast.Expr, facts addrFacts) addrState {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.Pkg.Info.Uses[x]
+		if obj == nil {
+			return addrUnknown
+		}
+		return facts.m[obj]
+	case *ast.SelectorExpr:
+		// ClientSubnet.Addr is masked by construction (the decoder and
+		// New both mask before storing).
+		if c.isSubnetAddrField(x) {
+			return addrMasked
+		}
+		return addrUnknown
+	case *ast.CallExpr:
+		var obj types.Object
+		switch f := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			obj = c.Pkg.Info.Uses[f]
+		case *ast.SelectorExpr:
+			obj = c.Pkg.Info.Uses[f.Sel]
+		}
+		if obj == nil {
+			return addrUnknown
+		}
+		name := obj.Name()
+		// Masking operations.
+		if name == "MaskAddr" || name == "maskAddr" {
+			return addrMasked
+		}
+		// Raw constructors and extractors.
+		if isPkgFunc(obj, "net/netip") {
+			switch name {
+			case "ParseAddr", "MustParseAddr", "AddrFrom4", "AddrFrom16", "AddrFromSlice":
+				return addrRaw
+			}
+		}
+		if fn, ok := obj.(*types.Func); ok && name == "Addr" {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if named, ok := derefNamed(sig.Recv().Type()); ok && named.Obj().Name() == "AddrPort" {
+					return addrRaw
+				}
+			}
+		}
+		return addrUnknown
+	}
+	return addrUnknown
+}
+
+// checkPrefixFrom flags netip.PrefixFrom(raw, n): unlike Addr.Prefix,
+// PrefixFrom keeps the host bits, so a raw address poisons the prefix.
+// `PrefixFrom(a, a.BitLen())` is exempt — full length has no host bits.
+func (c *Context) checkPrefixFrom(call *ast.CallExpr, facts addrFacts) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "PrefixFrom" || len(call.Args) != 2 {
+		return
+	}
+	obj := c.Pkg.Info.Uses[sel.Sel]
+	if obj == nil || !isPkgFunc(obj, "net/netip") {
+		return
+	}
+	if c.classifyAddr(call.Args[0], facts) != addrRaw {
+		return
+	}
+	// Exempt the full-length identity prefix: PrefixFrom(a, a.BitLen()).
+	if blc, ok := ast.Unparen(call.Args[1]).(*ast.CallExpr); ok {
+		if bls, ok := ast.Unparen(blc.Fun).(*ast.SelectorExpr); ok && bls.Sel.Name == "BitLen" {
+			if exprString(c.Pkg.Fset, bls.X) == exprString(c.Pkg.Fset, call.Args[0]) {
+				return
+			}
+		}
+	}
+	c.Reportf(call.Pos(), "netip.PrefixFrom does not mask host bits; mask the address first (ecsopt.MaskAddr or Addr.Prefix) before building the ECS prefix")
+}
+
+// checkAddrCompare flags ==/!= between a provably-raw and a
+// provably-masked netip.Addr: they can never match for any client with
+// host bits set, which reads as a 0% hit rate, not as a bug.
+func (c *Context) checkAddrCompare(b *ast.BinaryExpr, facts addrFacts) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	tv, ok := c.Pkg.Info.Types[b.X]
+	if !ok || !c.isNetipAddr(tv.Type) {
+		return
+	}
+	sx := c.classifyAddr(b.X, facts)
+	sy := c.classifyAddr(b.Y, facts)
+	if (sx == addrRaw && sy == addrMasked) || (sx == addrMasked && sy == addrRaw) {
+		c.Reportf(b.Pos(), "comparing a raw client address with a masked ECS address; mask both sides to the same prefix length first")
+	}
+}
+
+// checkAddrMapKey flags indexing an Addr-keyed map with a raw address.
+func (c *Context) checkAddrMapKey(ix *ast.IndexExpr, facts addrFacts) {
+	tv, ok := c.Pkg.Info.Types[ix.X]
+	if !ok {
+		return
+	}
+	mp, ok := tv.Type.Underlying().(*types.Map)
+	if !ok || !c.isNetipAddr(mp.Key()) {
+		return
+	}
+	if c.classifyAddr(ix.Index, facts) == addrRaw {
+		c.Reportf(ix.Pos(), "raw (unmasked) address used as a cache map key; mask to the ECS prefix length first or entries fragment per client")
+	}
+}
+
+// checkWithScope enforces rule B at ClientSubnet.WithScope call sites.
+func (c *Context) checkWithScope(call *ast.CallExpr, clamped map[types.Object]bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WithScope" || len(call.Args) != 1 {
+		return
+	}
+	fn, ok := c.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	named, ok := derefNamed(sig.Recv().Type())
+	if !ok || named.Obj().Name() != "ClientSubnet" {
+		return
+	}
+	if c.scopeBounded(call.Args[0], clamped) {
+		return
+	}
+	c.Reportf(call.Pos(), "scope %s is not provably ≤ the source prefix; clamp with ecsopt.ClampScope before storing or echoing it (RFC 7871 §7.3.1)",
+		exprString(c.Pkg.Fset, call.Args[0]))
+}
+
+// checkSubnetLit enforces both rules on ClientSubnet composite literals:
+// the ScopePrefix field must be bounded, the Addr field must not be raw.
+func (c *Context) checkSubnetLit(lit *ast.CompositeLit, facts addrFacts, clamped map[types.Object]bool) {
+	tv, ok := c.Pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := derefNamed(tv.Type)
+	if !ok || named.Obj().Name() != "ClientSubnet" {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "ScopePrefix":
+			if !c.scopeBounded(kv.Value, clamped) {
+				c.Reportf(kv.Value.Pos(), "ScopePrefix %s is not provably ≤ the source prefix; clamp with ecsopt.ClampScope (RFC 7871 §7.3.1)",
+					exprString(c.Pkg.Fset, kv.Value))
+			}
+		case "Addr":
+			if c.classifyAddr(kv.Value, facts) == addrRaw {
+				c.Reportf(kv.Value.Pos(), "ClientSubnet.Addr assigned a raw address; it must be masked to SourcePrefix bits (ecsopt.MaskAddr)")
+			}
+		}
+	}
+}
+
+// scopeBounded reports whether e is provably ≤ the source prefix: the
+// constant 0, a SourcePrefix field, anything routed through ClampScope,
+// a min() with the source, or a variable only ever assigned from those.
+func (c *Context) scopeBounded(e ast.Expr, clamped map[types.Object]bool) bool {
+	e = stripIntConv(c.Pkg, e)
+	if tv, ok := c.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		v, ok := constant.Int64Val(tv.Value)
+		return ok && v == 0
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "SourcePrefix"
+	case *ast.Ident:
+		obj := c.Pkg.Info.Uses[x]
+		return obj != nil && clamped[obj]
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "min" {
+			if _, isBuiltin := c.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				// Builtin min: bounded if any operand is bounded.
+				for _, a := range x.Args {
+					if c.scopeBounded(a, clamped) {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		return isClampCall(c.Pkg, x)
+	}
+	return false
+}
+
+// clampedVars pre-scans a function body for int variables whose every
+// assignment is clamp-derived, so `scope := ecsopt.ClampScope(a, b);
+// cs.WithScope(int(scope))` passes rule B.
+func (c *Context) clampedVars(body *ast.BlockStmt) map[types.Object]bool {
+	candidate := make(map[types.Object]bool)
+	dirty := make(map[types.Object]bool)
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := c.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = c.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		rhs = stripIntConv(c.Pkg, rhs)
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isClampCall(c.Pkg, call) {
+			candidate[obj] = true
+			return
+		}
+		if sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "SourcePrefix" {
+			candidate[obj] = true
+			return
+		}
+		dirty[obj] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					mark(x.Lhs[i], x.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i := range x.Names {
+					mark(x.Names[i], x.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	out := make(map[types.Object]bool)
+	for obj := range candidate {
+		if !dirty[obj] {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// isClampCall reports whether call invokes a function named ClampScope
+// (package-qualified or local).
+func isClampCall(pkg *Package, call *ast.CallExpr) bool {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name == "ClampScope"
+	case *ast.SelectorExpr:
+		return f.Sel.Name == "ClampScope"
+	}
+	return false
+}
+
+// stripIntConv unwraps int/uint8/etc. conversions around e.
+func stripIntConv(pkg *Package, e ast.Expr) ast.Expr {
+	for {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return ast.Unparen(e)
+		}
+		tv, ok := pkg.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return ast.Unparen(e)
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			return ast.Unparen(e)
+		}
+		e = call.Args[0]
+	}
+}
+
+// isNetipAddr reports whether t is net/netip.Addr.
+func (c *Context) isNetipAddr(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/netip" && obj.Name() == "Addr"
+}
+
+// isSubnetAddrField reports whether sel selects the Addr field of an
+// ecsopt.ClientSubnet value.
+func (c *Context) isSubnetAddrField(sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Addr" {
+		return false
+	}
+	tv, ok := c.Pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	named, ok := derefNamed(tv.Type)
+	return ok && named.Obj().Name() == "ClientSubnet"
+}

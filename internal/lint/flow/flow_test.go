@@ -1,0 +1,242 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses src (a file body) and returns the named function's
+// declaration.
+func parseFunc(t *testing.T, src, name string) *ast.FuncDecl {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no func %s in source", name)
+	return nil
+}
+
+func TestBuildBranchesAndExits(t *testing.T) {
+	t.Parallel()
+	fd := parseFunc(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+		return x
+	}
+	for i := 0; i < 3; i++ {
+		x++
+	}
+	return x
+}`, "f")
+	g := Build(fd.Body)
+
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("graph missing entry/exit")
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Errorf("exit block has %d successors, want 0", len(g.Exit.Succs))
+	}
+	// Both return statements must end blocks that feed Exit. (Exit may
+	// have one more predecessor: the synthesized fallthrough block after
+	// the final return.)
+	preds := g.Preds()
+	returns := 0
+	for _, p := range preds[g.Exit] {
+		for _, n := range p.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+		}
+	}
+	if returns != 2 {
+		t.Errorf("%d return blocks feed exit, want 2", returns)
+	}
+	// Preds must be the exact inverse of Succs.
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			found := false
+			for _, p := range preds[s] {
+				if p == blk {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge b%d->b%d missing from Preds", blk.Index, s.Index)
+			}
+		}
+	}
+}
+
+// assignedVars is a may-analysis: the set of variable names assigned on
+// some path to a point.
+func assignedVars() Analysis[map[string]bool] {
+	clone := func(m map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(m))
+		for k := range m {
+			out[k] = true
+		}
+		return out
+	}
+	return Analysis[map[string]bool]{
+		Entry:     map[string]bool{},
+		Unreached: map[string]bool{},
+		Join: func(a, b map[string]bool) map[string]bool {
+			out := clone(a)
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, in map[string]bool) map[string]bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return in
+			}
+			out := clone(in)
+			for _, lhs := range as.Lhs {
+				if id, isIdent := lhs.(*ast.Ident); isIdent {
+					out[id.Name] = true
+				}
+			}
+			return out
+		},
+	}
+}
+
+func TestSolveReachesFixpoint(t *testing.T) {
+	t.Parallel()
+	fd := parseFunc(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		y := 2
+		_ = y
+	}
+	for {
+		z := 3
+		_ = z
+		if c {
+			break
+		}
+	}
+	return x
+}`, "f")
+	g := Build(fd.Body)
+	res := Solve(g, assignedVars())
+
+	in := res.In[g.Exit]
+	// x assigned on every path; z assigned before any break can run; y
+	// only on the if branch but this is a may-analysis.
+	for _, want := range []string{"x", "y", "z"} {
+		if !in[want] {
+			t.Errorf("exit facts missing %q: %v", want, in)
+		}
+	}
+}
+
+func TestBeforeReplaysBlockPrefix(t *testing.T) {
+	t.Parallel()
+	fd := parseFunc(t, `package p
+func f() {
+	a := 1
+	b := 2
+	_, _ = a, b
+}`, "f")
+	g := Build(fd.Body)
+	res := Solve(g, assignedVars())
+
+	// The straight-line body is one block: facts before node i must
+	// reflect exactly the first i statements.
+	blk := g.Entry
+	if len(blk.Nodes) < 2 {
+		// Entry may be empty with the body in its successor.
+		blk = blk.Succs[0]
+	}
+	before := res.Before(blk, 1)
+	if !before["a"] || before["b"] {
+		t.Errorf("Before(blk, 1) = %v, want {a} only", before)
+	}
+}
+
+func TestMarkersWrapChannelControlPoints(t *testing.T) {
+	t.Parallel()
+	fd := parseFunc(t, `package p
+func f(ch chan int, done chan struct{}) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	select {
+	case v := <-ch:
+		total += v
+	case <-done:
+	}
+	return total
+}`, "f")
+	g := Build(fd.Body)
+
+	var ranges, selects, comms int
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *RangeHead:
+				ranges++
+			case *SelectHead:
+				selects++
+			case *CommNode:
+				comms++
+			}
+			// Inspect must handle every node the CFG can hold without
+			// panicking (ast.Walk rejects the marker types).
+			Inspect(n, func(ast.Node) bool { return true })
+		}
+	}
+	if ranges != 1 || selects != 1 || comms != 2 {
+		t.Errorf("markers = %d RangeHead, %d SelectHead, %d CommNode; want 1, 1, 2",
+			ranges, selects, comms)
+	}
+}
+
+func TestInspectUnwrapsMarkers(t *testing.T) {
+	t.Parallel()
+	fd := parseFunc(t, `package p
+func f(ch chan int) {
+	for range ch {
+	}
+}`, "f")
+	rh := &RangeHead{Stmt: fd.Body.List[0].(*ast.RangeStmt)}
+
+	// Inspect on a RangeHead visits the range operand only.
+	var names []string
+	Inspect(rh, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	if len(names) != 1 || names[0] != "ch" {
+		t.Errorf("Inspect(RangeHead) visited %v, want [ch]", names)
+	}
+}

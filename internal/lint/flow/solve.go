@@ -1,0 +1,147 @@
+package flow
+
+import "go/ast"
+
+// Analysis defines one forward dataflow problem over a Graph. The type
+// parameter T is the lattice element; implementations must treat values
+// as immutable (Transfer and Join return fresh values rather than
+// mutating their inputs) so facts can be shared between blocks.
+type Analysis[T any] struct {
+	// Entry is the fact at function entry.
+	Entry T
+	// Unreached is the fact for code no edge reaches: the lattice
+	// identity for Join (an empty set for may-analyses, the universe for
+	// must-analyses).
+	Unreached T
+	// Join merges facts where control-flow paths meet.
+	Join func(a, b T) T
+	// Equal reports lattice-element equality; the fixpoint iteration
+	// stops when no block's output changes.
+	Equal func(a, b T) bool
+	// Transfer produces the fact after executing one node given the fact
+	// before it.
+	Transfer func(n ast.Node, in T) T
+}
+
+// Result holds the solved per-block facts.
+type Result[T any] struct {
+	In, Out map[*Block]T
+	a       Analysis[T]
+}
+
+// Solve iterates the analysis to a fixpoint over g using a worklist in
+// reverse-postorder, which converges in one pass for loop-free code and
+// in a handful of passes otherwise. The iteration order is a pure
+// function of the graph, so results are deterministic.
+func Solve[T any](g *Graph, a Analysis[T]) *Result[T] {
+	res := &Result[T]{
+		In:  make(map[*Block]T, len(g.Blocks)),
+		Out: make(map[*Block]T, len(g.Blocks)),
+		a:   a,
+	}
+	order := postorder(g)
+	// Reverse-postorder: process blocks before their (forward) successors.
+	rpo := make([]*Block, len(order))
+	for i, blk := range order {
+		rpo[len(order)-1-i] = blk
+	}
+	pos := make(map[*Block]int, len(rpo))
+	for i, blk := range rpo {
+		pos[blk] = i
+	}
+	preds := g.Preds()
+
+	for _, blk := range g.Blocks {
+		res.In[blk] = a.Unreached
+		res.Out[blk] = a.Unreached
+	}
+	res.In[g.Entry] = a.Entry
+	res.Out[g.Entry] = transferBlock(a, g.Entry, a.Entry)
+
+	inList := make([]bool, len(g.Blocks))
+	var work []*Block
+	push := func(blk *Block) {
+		if !inList[blk.Index] {
+			inList[blk.Index] = true
+			work = append(work, blk)
+		}
+	}
+	for _, blk := range rpo {
+		push(blk)
+	}
+	for len(work) > 0 {
+		// Pop the earliest block in reverse-postorder for determinism
+		// and fast convergence.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i]] < pos[work[best]] {
+				best = i
+			}
+		}
+		blk := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inList[blk.Index] = false
+
+		in := a.Unreached
+		if blk == g.Entry {
+			in = a.Entry
+		}
+		for _, p := range preds[blk] {
+			in = a.Join(in, res.Out[p])
+		}
+		out := transferBlock(a, blk, in)
+		res.In[blk] = in
+		if !a.Equal(out, res.Out[blk]) {
+			res.Out[blk] = out
+			for _, s := range blk.Succs {
+				push(s)
+			}
+		}
+	}
+	return res
+}
+
+func transferBlock[T any](a Analysis[T], blk *Block, in T) T {
+	fact := in
+	for _, n := range blk.Nodes {
+		fact = a.Transfer(n, fact)
+	}
+	return fact
+}
+
+// Before replays the block's transfer functions to return the fact in
+// force just before blk.Nodes[i].
+func (r *Result[T]) Before(blk *Block, i int) T {
+	fact := r.In[blk]
+	for j := 0; j < i; j++ {
+		fact = r.a.Transfer(blk.Nodes[j], fact)
+	}
+	return fact
+}
+
+// postorder returns g's blocks in depth-first postorder from Entry.
+// Blocks unreachable from Entry (dead code after return) are appended
+// afterwards in index order so every block gets solved facts.
+func postorder(g *Graph) []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var order []*Block
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if seen[blk.Index] {
+			return
+		}
+		seen[blk.Index] = true
+		for _, s := range blk.Succs {
+			visit(s)
+		}
+		order = append(order, blk)
+	}
+	visit(g.Entry)
+	for _, blk := range g.Blocks {
+		if !seen[blk.Index] {
+			order = append(order, blk)
+		}
+	}
+	return order
+}

@@ -18,6 +18,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one analyzer diagnostic.
@@ -27,6 +28,10 @@ type Finding struct {
 	Col   int
 	Check string
 	Msg   string
+	// IgnoredBy carries the justification text of the //ecslint:ignore
+	// directive that suppressed this finding. Active findings leave it
+	// empty; suppressed ones surface only through RunAll (for -json).
+	IgnoredBy string
 }
 
 // String renders the canonical `file:line: [check] message` form.
@@ -34,8 +39,9 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Msg)
 }
 
-// Check is one registered analysis. Run is invoked once per loaded
-// package and reports through the Context.
+// Check is one registered analysis. Exactly one of Run (invoked once per
+// loaded package) and Global (invoked once with every loaded package, for
+// whole-tree analyses like lock-order cycles) is set.
 type Check struct {
 	// Name is the short identifier used in output, config, and
 	// //ecslint:ignore directives.
@@ -44,6 +50,8 @@ type Check struct {
 	Doc string
 	// Run analyzes ctx.Pkg.
 	Run func(ctx *Context)
+	// Global analyzes all packages together.
+	Global func(gctx *GlobalContext)
 }
 
 // AllChecks returns the registered check table, in output order.
@@ -55,6 +63,10 @@ func AllChecks() []Check {
 		goroutinetrackCheck,
 		mutexholdCheck,
 		rawwireCheck,
+		lockorderCheck,
+		ctxflowCheck,
+		counterpartitionCheck,
+		ecssemanticsCheck,
 	}
 }
 
@@ -95,6 +107,16 @@ type Config struct {
 	// RawwireAllow lists the packages allowed to index or slice raw DNS
 	// message bytes: the codec itself.
 	RawwireAllow []string
+
+	// CtxflowPackages lists the import paths where a function that takes
+	// a context.Context must keep it live to every blocking operation:
+	// the transport and emulation layers, where a dropped context turns
+	// shutdown into a hang.
+	CtxflowPackages []string
+
+	// ECSSemanticsPackages lists the import paths subject to the ECS
+	// address-semantics rules (mask-before-use, scope ≤ source).
+	ECSSemanticsPackages []string
 }
 
 // DefaultConfig is the policy for this module: the allowlists mirror the
@@ -121,6 +143,18 @@ func DefaultConfig() *Config {
 		RawwireAllow: []string{
 			"ecsdns/internal/dnswire",
 			"ecsdns/internal/ecsopt",
+		},
+		CtxflowPackages: []string{
+			"ecsdns/internal/dnsclient",
+			"ecsdns/internal/dnsserver",
+			"ecsdns/internal/scanner",
+			"ecsdns/internal/netem",
+		},
+		ECSSemanticsPackages: []string{
+			"ecsdns/internal/ecsopt",
+			"ecsdns/internal/ecscache",
+			"ecsdns/internal/resolver",
+			"ecsdns/internal/cachesim",
 		},
 	}
 }
@@ -170,27 +204,94 @@ func (c *Context) isTestFile(f *ast.File) bool {
 	return strings.HasSuffix(c.Pkg.Fset.Position(f.Pos()).Filename, "_test.go")
 }
 
+// posInTestFile reports whether pos lives in a _test.go file.
+func (c *Context) posInTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(c.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// GlobalContext is the analysis state handed to Check.Global: the whole
+// loaded tree at once.
+type GlobalContext struct {
+	Pkgs     []*Package
+	Cfg      *Config
+	check    string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos, resolved through pkg's file set.
+func (g *GlobalContext) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p := pkg.Fset.Position(pos)
+	*g.findings = append(*g.findings, Finding{
+		File:  relToModule(pkg.ModuleDir, p.Filename),
+		Line:  p.Line,
+		Col:   p.Column,
+		Check: g.check,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
 // Run executes every enabled check over pkgs and returns the surviving
 // findings: deterministically sorted, deduplicated, and filtered through
 // //ecslint:ignore directives.
 func Run(pkgs []*Package, cfg *Config) []Finding {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, chk := range AllChecks() {
-			if !cfg.CheckEnabled(chk.Name) {
-				continue
+	active, _ := RunAll(pkgs, cfg)
+	return active
+}
+
+// RunAll is Run plus the suppressed findings: diagnostics that matched an
+// //ecslint:ignore directive, with IgnoredBy carrying the justification.
+// Per-package checks run concurrently (the CFG caches synchronize via
+// sync.Once and go/types lookups are read-only); global checks run
+// serially after, since they share the per-package flow caches anyway.
+func RunAll(pkgs []*Package, cfg *Config) (active, suppressed []Finding) {
+	perPkg := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			for _, chk := range AllChecks() {
+				if chk.Run == nil || !cfg.CheckEnabled(chk.Name) {
+					continue
+				}
+				ctx := &Context{
+					Pkg:       pkg,
+					Cfg:       cfg,
+					check:     chk.Name,
+					moduleDir: pkg.ModuleDir,
+					findings:  &perPkg[i],
+				}
+				chk.Run(ctx)
 			}
-			ctx := &Context{
-				Pkg:       pkg,
-				Cfg:       cfg,
-				check:     chk.Name,
-				moduleDir: pkg.ModuleDir,
-				findings:  &findings,
-			}
-			chk.Run(ctx)
-		}
+		}(i, pkg)
 	}
-	findings = applyIgnores(pkgs, findings)
+	wg.Wait()
+
+	var findings []Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+	for _, chk := range AllChecks() {
+		if chk.Global == nil || !cfg.CheckEnabled(chk.Name) {
+			continue
+		}
+		gctx := &GlobalContext{
+			Pkgs:     pkgs,
+			Cfg:      cfg,
+			check:    chk.Name,
+			findings: &findings,
+		}
+		chk.Global(gctx)
+	}
+
+	active, suppressed = applyIgnores(pkgs, findings)
+	sortFindings(active)
+	sortFindings(suppressed)
+	return dedupeFindings(active), dedupeFindings(suppressed)
+}
+
+// sortFindings orders findings by file, line, column, check, message.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -207,8 +308,11 @@ func Run(pkgs []*Package, cfg *Config) []Finding {
 		}
 		return a.Msg < b.Msg
 	})
-	// Dedupe identical findings (a check may visit an expression twice
-	// through different AST parents).
+}
+
+// dedupeFindings drops identical adjacent findings (a check may visit an
+// expression twice through different AST parents).
+func dedupeFindings(findings []Finding) []Finding {
 	out := findings[:0]
 	for i, f := range findings {
 		if i > 0 && f == findings[i-1] {

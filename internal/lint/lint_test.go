@@ -56,6 +56,14 @@ func fixtureConfig(check string) *Config {
 			"ecsdns/internal/ecsopt",
 		},
 		RawwireAllow: []string{"fixture/rawwireallowed"},
+		CtxflowPackages: []string{
+			"fixture/ctxflowbad",
+			"fixture/ctxflowgood",
+		},
+		ECSSemanticsPackages: []string{
+			"fixture/ecssemanticsbad",
+			"fixture/ecssemanticsgood",
+		},
 	}
 }
 
@@ -73,6 +81,10 @@ func TestCheckGolden(t *testing.T) {
 		{"goroutinetrack", []string{"goroutinetrackgood", "goroutinetrackbad"}},
 		{"mutexhold", []string{"mutexholdgood", "mutexholdbad"}},
 		{"rawwire", []string{"rawwiregood", "rawwirebad"}},
+		{"lockorder", []string{"lockordergood", "lockorderbad"}},
+		{"ctxflow", []string{"ctxflowgood", "ctxflowbad"}},
+		{"counterpartition", []string{"counterpartitiongood", "counterpartitionbad"}},
+		{"ecssemantics", []string{"ecssemanticsgood", "ecssemanticsbad"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {
@@ -177,7 +189,7 @@ func TestCheckNamesUnique(t *testing.T) {
 	t.Parallel()
 	seen := make(map[string]bool)
 	for _, c := range AllChecks() {
-		if c.Name == "" || c.Doc == "" || c.Run == nil {
+		if c.Name == "" || c.Doc == "" || (c.Run == nil) == (c.Global == nil) {
 			t.Errorf("check %+v incompletely registered", c.Name)
 		}
 		if seen[c.Name] {

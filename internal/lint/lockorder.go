@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ecsdns/internal/lint/flow"
+)
+
+// lockorderCheck builds a lock-acquisition-order graph across the whole
+// tree and reports cycles as potential deadlocks. An edge A -> B means
+// some function acquires lock class B while it may hold lock class A —
+// either directly, or through a call whose (transitively summarized)
+// body acquires B. Two goroutines taking the same pair of locks in
+// opposite edge directions can deadlock; a self-edge (A acquired while
+// A is held) deadlocks a single goroutine outright on Go's
+// non-reentrant mutexes.
+//
+// Lock identity is class-based (`pkg.Type.field`): distinct instances
+// of one type are assumed to alias, which is exactly the assumption a
+// lock-ordering discipline must make. Per-function may-held sets come
+// from the same flow-sensitive dataflow mutexhold uses; call edges use
+// the one-level interprocedural summary layer (flow.Summaries) with
+// static callee resolution across every loaded package.
+var lockorderCheck = Check{
+	Name:   "lockorder",
+	Doc:    "lock acquisition order cycle across the tree (potential deadlock)",
+	Global: runLockorder,
+}
+
+// lockEdge is one order constraint with its earliest witness site.
+type lockEdge struct {
+	from, to string
+	pkg      *Package
+	pos      token.Pos
+	detail   string
+}
+
+func runLockorder(gctx *GlobalContext) {
+	// Index every declared function across the tree so call summaries
+	// resolve cross-package (the loader shares type identity).
+	funcs := make(map[*types.Func]*flow.FuncInfo)
+	owner := make(map[*flow.FuncInfo]*Package)
+	for _, pkg := range gctx.Pkgs {
+		prog := pkg.Flow()
+		for _, fi := range prog.Funcs {
+			owner[fi] = pkg
+			if fi.Obj != nil {
+				funcs[fi.Obj] = fi
+			}
+		}
+	}
+
+	// acquired summarizes the lock classes a function (transitively)
+	// acquires during synchronous execution: direct Lock/RLock calls
+	// plus its static callees' summaries. Goroutine spawns and function
+	// literals are excluded — they run on other stacks or later.
+	acquired := make(map[*flow.FuncInfo][]string)
+	var summarize func(fi *flow.FuncInfo, seen map[*flow.FuncInfo]bool) []string
+	summarize = func(fi *flow.FuncInfo, seen map[*flow.FuncInfo]bool) []string {
+		if v, ok := acquired[fi]; ok {
+			return v
+		}
+		if seen[fi] {
+			return nil // call cycle: cut with the empty summary
+		}
+		seen[fi] = true
+		pkg := owner[fi]
+		set := make(map[string]bool)
+		ast.Inspect(fi.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				_ = x
+				return false
+			case *ast.CallExpr:
+				if sel, fn := lockMethod(pkg, x); fn != nil {
+					if fn.Name() == "Lock" || fn.Name() == "RLock" {
+						set[lockClass(pkg, sel.X)] = true
+					}
+					return true
+				}
+				if callee := pkg.Flow().StaticCallee(x); callee != nil {
+					if target, ok := funcs[callee]; ok {
+						for _, cls := range summarize(target, seen) {
+							set[cls] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		out := make([]string, 0, len(set))
+		for cls := range set {
+			out = append(out, cls)
+		}
+		sort.Strings(out)
+		acquired[fi] = out
+		return out
+	}
+
+	// Collect order edges: for each node reached with a non-empty held
+	// set, a direct acquisition or a lock-acquiring callee adds edges
+	// from every held class.
+	edges := make(map[[2]string]*lockEdge)
+	addEdge := func(from, to string, pkg *Package, pos token.Pos, detail string) {
+		key := [2]string{from, to}
+		e, ok := edges[key]
+		if !ok {
+			edges[key] = &lockEdge{from: from, to: to, pkg: pkg, pos: pos, detail: detail}
+			return
+		}
+		// Keep the earliest witness for deterministic reports.
+		if posLess(pkg, pos, e.pkg, e.pos) {
+			e.pkg, e.pos, e.detail = pkg, pos, detail
+		}
+	}
+
+	for _, pkg := range gctx.Pkgs {
+		prog := pkg.Flow()
+		for _, fi := range prog.Funcs {
+			g := fi.CFG()
+			res := flow.Solve(g, lockAnalysis(pkg))
+			for _, blk := range g.Blocks {
+				for i, n := range blk.Nodes {
+					call := lockStmtCall(n)
+					if call == nil {
+						continue
+					}
+					held := res.Before(blk, i)
+					if len(held) == 0 {
+						continue
+					}
+					if sel, fn := lockMethod(pkg, call); fn != nil {
+						if fn.Name() != "Lock" && fn.Name() != "RLock" {
+							continue
+						}
+						to := lockClass(pkg, sel.X)
+						for _, k := range held.sortedKeys() {
+							addEdge(held[k].class, to, pkg, call.Pos(),
+								to+" acquired while holding "+held[k].class)
+						}
+						continue
+					}
+					callee := prog.StaticCallee(call)
+					if callee == nil {
+						continue
+					}
+					target, ok := funcs[callee]
+					if !ok {
+						continue
+					}
+					for _, to := range summarize(target, make(map[*flow.FuncInfo]bool)) {
+						for _, k := range held.sortedKeys() {
+							addEdge(held[k].class, to, pkg, call.Pos(),
+								to+" acquired inside "+callee.Name()+"() while holding "+held[k].class)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	reportLockCycles(gctx, edges)
+}
+
+// posLess orders two (package, pos) sites by file path then offset.
+func posLess(pa *Package, a token.Pos, pb *Package, b token.Pos) bool {
+	fa, fb := pa.Fset.Position(a), pb.Fset.Position(b)
+	if fa.Filename != fb.Filename {
+		return fa.Filename < fb.Filename
+	}
+	if fa.Line != fb.Line {
+		return fa.Line < fb.Line
+	}
+	return fa.Column < fb.Column
+}
+
+// reportLockCycles finds cycles in the order graph and reports each one
+// once, canonically rotated to start at its smallest class name, at the
+// earliest witness site of its first edge.
+func reportLockCycles(gctx *GlobalContext, edges map[[2]string]*lockEdge) {
+	adj := make(map[string][]string)
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	seen := make(map[string]bool) // canonical cycle string -> reported
+	for _, start := range nodes {
+		// DFS bounded to cycles through `start` with every node >=
+		// start, so each cycle is found exactly once from its smallest
+		// member.
+		var path []string
+		var dfs func(cur string)
+		dfs = func(cur string) {
+			for _, next := range adj[cur] {
+				if next == start {
+					cycle := append(append([]string{}, path...), cur)
+					reportOneCycle(gctx, edges, cycle, seen)
+					continue
+				}
+				if next < start || contains(path, next) || next == cur {
+					continue
+				}
+				path = append(path, cur)
+				dfs(next)
+				path = path[:len(path)-1]
+			}
+		}
+		dfs(start)
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func reportOneCycle(gctx *GlobalContext, edges map[[2]string]*lockEdge, cycle []string, seen map[string]bool) {
+	canon := strings.Join(cycle, " -> ")
+	if seen[canon] {
+		return
+	}
+	seen[canon] = true
+
+	// The witness: the earliest edge site in the cycle.
+	var witness *lockEdge
+	for i := range cycle {
+		e := edges[[2]string{cycle[i], cycle[(i+1)%len(cycle)]}]
+		if e == nil {
+			return
+		}
+		if witness == nil || posLess(e.pkg, e.pos, witness.pkg, witness.pos) {
+			witness = e
+		}
+	}
+	ring := canon + " -> " + cycle[0]
+	if len(cycle) == 1 {
+		gctx.Reportf(witness.pkg, witness.pos,
+			"lock %s acquired while already held (%s); Go mutexes are not reentrant, this self-deadlocks",
+			cycle[0], witness.detail)
+		return
+	}
+	gctx.Reportf(witness.pkg, witness.pos,
+		"lock order cycle %s (%s); pick one acquisition order and stick to it on every path",
+		ring, witness.detail)
+}

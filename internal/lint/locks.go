@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"ecsdns/internal/lint/flow"
+)
+
+// This file holds the lock model shared by the flow-sensitive
+// concurrency checks: mutexhold (blocking ops under a held lock) and
+// lockorder (acquisition-order cycles). Locks are tracked at two
+// granularities — an intra-function key (the receiver expression, so
+// `a.mu` and `b.mu` stay distinct inside one function) and a
+// cross-function class (`pkg.Type.field`, so acquisitions of the same
+// mutex field in different functions can be ordered against each other).
+
+// lockAcq records one acquisition: where it happened and the lock's
+// cross-function class.
+type lockAcq struct {
+	pos   token.Pos
+	class string
+}
+
+// lockFacts is the may-held lattice element: intra-function lock key ->
+// earliest acquisition on any path. The empty map is bottom.
+type lockFacts map[string]lockAcq
+
+func (f lockFacts) clone() lockFacts {
+	out := make(lockFacts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// sortedKeys returns the held lock keys in deterministic order.
+func (f lockFacts) sortedKeys() []string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lockAnalysis builds the may-held-locks forward analysis for one
+// package: Lock/RLock adds the mutex to the held set, Unlock/RUnlock
+// removes it, and `defer mu.Unlock()` leaves it held to function end
+// (blocking while defer-holding a lock still stalls every contender).
+// Join is union with the earliest acquisition position, so facts are
+// deterministic regardless of visit order.
+func lockAnalysis(pkg *Package) flow.Analysis[lockFacts] {
+	return flow.Analysis[lockFacts]{
+		Entry:     lockFacts{},
+		Unreached: lockFacts{},
+		Join: func(a, b lockFacts) lockFacts {
+			if len(b) == 0 {
+				return a
+			}
+			if len(a) == 0 {
+				return b
+			}
+			out := a.clone()
+			for k, v := range b {
+				if cur, ok := out[k]; !ok || v.pos < cur.pos {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b lockFacts) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, in lockFacts) lockFacts {
+			call := lockStmtCall(n)
+			if call == nil {
+				return in
+			}
+			sel, fn := lockMethod(pkg, call)
+			if fn == nil {
+				return in
+			}
+			key := exprString(pkg.Fset, sel.X)
+			switch fn.Name() {
+			case "Lock", "RLock":
+				out := in.clone()
+				out[key] = lockAcq{pos: call.Pos(), class: lockClass(pkg, sel.X)}
+				return out
+			case "Unlock", "RUnlock":
+				if _, ok := in[key]; !ok {
+					return in
+				}
+				out := in.clone()
+				delete(out, key)
+				return out
+			}
+			return in
+		},
+	}
+}
+
+// lockStmtCall extracts the call expression of a statement-level lock
+// operation. Deferred unlocks return nil: the lock stays held.
+func lockStmtCall(n ast.Node) *ast.CallExpr {
+	st, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := st.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return call
+}
+
+// lockMethod resolves call to a sync.Mutex/RWMutex Lock-family method,
+// returning the selector and method object (nil when it is not one).
+func lockMethod(pkg *Package, call *ast.CallExpr) (*ast.SelectorExpr, *types.Func) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !isSyncLockMethod(fn) {
+		return nil, nil
+	}
+	return sel, fn
+}
+
+// lockClass computes the cross-function identity of the mutex named by
+// receiver expression e: `pkg.Type.field` for a mutex field (or an
+// embedded mutex, where the field is the type itself), `pkg.var` for a
+// package-level mutex, and a local key otherwise. Two acquisitions with
+// the same class are assumed to be able to alias, which is what a
+// lock-order discipline has to assume about instances of one type.
+func lockClass(pkg *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		// s.mu, s.inner.mu: identity is (type of the containing value,
+		// field name).
+		if tv, ok := pkg.Info.Types[x.X]; ok {
+			if named, ok := derefNamed(tv.Type); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil {
+					return obj.Pkg().Path() + "." + obj.Name() + "." + x.Sel.Name
+				}
+				return obj.Name() + "." + x.Sel.Name
+			}
+		}
+		return exprString(pkg.Fset, e)
+	case *ast.Ident:
+		// An embedded mutex locked through its container (`s.Lock()`
+		// with s embedding sync.Mutex): identity is the container type.
+		if tv, ok := pkg.Info.Types[ast.Expr(x)]; ok {
+			if named, ok := derefNamed(tv.Type); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() != "sync" {
+					return obj.Pkg().Path() + "." + obj.Name()
+				}
+			}
+		}
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			// Local or receiver-bound: instance-scoped, keyed by its
+			// declaration position so distinct locals stay distinct.
+			return v.Pkg().Path() + ".local." + v.Name()
+		}
+		return exprString(pkg.Fset, e)
+	}
+	return exprString(pkg.Fset, e)
+}

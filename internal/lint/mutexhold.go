@@ -6,167 +6,110 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+
+	"ecsdns/internal/lint/flow"
 )
 
 // mutexholdCheck flags blocking operations executed while a sync.Mutex
-// or sync.RWMutex is held: channel sends/receives, selects without a
+// or sync.RWMutex may be held: channel sends/receives, selects without a
 // default, time.Sleep/time.After, and Read/Write-family calls on
 // net.Conn-like values. A blocked holder stalls every other goroutine
 // contending for the lock — in a transport read loop that is a
 // whole-pipeline deadlock waiting for one slow peer.
 //
-// The analysis walks each function body in source order, tracking the
-// held set per mutex expression (`mu.Lock()` ... `mu.Unlock()`, with
-// `defer mu.Unlock()` holding to function end). It is a linear
-// approximation of control flow — branch-dependent locking may need an
-// //ecslint:ignore with justification.
+// The analysis is flow-sensitive: it solves a may-held-locks dataflow
+// problem over each function's control-flow graph (internal/lint/flow),
+// so branch-dependent locking is modeled exactly — an early
+// `mu.Unlock(); return` arm no longer masks the held set on the path
+// that falls through, and a lock taken in only one branch does not
+// taint the join point after both branches release it.
 var mutexholdCheck = Check{
 	Name: "mutexhold",
-	Doc:  "blocking call (channel op, select, Sleep, conn I/O) while holding a mutex",
+	Doc:  "blocking call (channel op, select, Sleep, conn I/O) while a mutex may be held",
 	Run:  runMutexhold,
 }
 
 func runMutexhold(ctx *Context) {
-	for _, f := range ctx.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					ctx.scanLockRegions(fn.Body)
+	prog := ctx.Pkg.Flow()
+	for _, fi := range prog.Funcs {
+		g := fi.CFG()
+		res := flow.Solve(g, lockAnalysis(ctx.Pkg))
+		for _, blk := range g.Blocks {
+			for i, n := range blk.Nodes {
+				held := res.Before(blk, i)
+				if len(held) > 0 {
+					ctx.scanNodeBlocking(n, held)
 				}
-			case *ast.FuncLit:
-				ctx.scanLockRegions(fn.Body)
-				return false // inner literals rescanned by the nested walk
 			}
-			return true
-		})
+		}
 	}
 }
 
-// lockState tracks which mutex expressions are held at the current
-// point of the source-order walk.
-type lockState struct {
-	held map[string]token.Pos // mutex expr -> Lock position
-}
-
-func (c *Context) scanLockRegions(body *ast.BlockStmt) {
-	st := &lockState{held: make(map[string]token.Pos)}
-	c.walkStmts(body.List, st)
-}
-
-// walkStmts processes statements in source order, updating the held set
-// and reporting blocking operations found while it is non-empty.
-func (c *Context) walkStmts(stmts []ast.Stmt, st *lockState) {
-	for _, s := range stmts {
-		c.walkStmt(s, st)
-	}
-}
-
-func (c *Context) walkStmt(s ast.Stmt, st *lockState) {
-	switch stmt := s.(type) {
-	case *ast.ExprStmt:
-		c.scanExpr(stmt.X, st)
-		c.applyLockCall(stmt.X, st, false)
-	case *ast.DeferStmt:
-		c.applyLockCall(stmt.Call, st, true)
-	case *ast.SendStmt:
-		c.blockingOp(stmt.Pos(), "channel send", st)
-		c.scanExpr(stmt.Value, st)
-	case *ast.SelectStmt:
-		hasDefault := false
-		for _, cl := range stmt.Body.List {
-			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
-				hasDefault = true
-			}
+// scanNodeBlocking reports blocking operations in one CFG node reached
+// with a non-empty held set.
+func (c *Context) scanNodeBlocking(n ast.Node, held lockFacts) {
+	switch x := n.(type) {
+	case *flow.SelectHead:
+		if !selectHasDefault(x.Stmt) {
+			c.blockingOp(x.Stmt.Pos(), "select", held)
 		}
-		if !hasDefault {
-			c.blockingOp(stmt.Pos(), "select", st)
-		}
-		for _, cl := range stmt.Body.List {
-			if comm, ok := cl.(*ast.CommClause); ok {
-				c.walkStmts(comm.Body, st)
-			}
-		}
-	case *ast.AssignStmt:
-		for _, e := range stmt.Rhs {
-			c.scanExpr(e, st)
-		}
-	case *ast.ReturnStmt:
-		for _, e := range stmt.Results {
-			c.scanExpr(e, st)
-		}
-	case *ast.IfStmt:
-		if stmt.Init != nil {
-			c.walkStmt(stmt.Init, st)
-		}
-		c.scanExpr(stmt.Cond, st)
-		c.walkStmts(stmt.Body.List, st)
-		if stmt.Else != nil {
-			c.walkStmt(stmt.Else, st)
-		}
-	case *ast.BlockStmt:
-		c.walkStmts(stmt.List, st)
-	case *ast.ForStmt:
-		if stmt.Init != nil {
-			c.walkStmt(stmt.Init, st)
-		}
-		if stmt.Cond != nil {
-			c.scanExpr(stmt.Cond, st)
-		}
-		c.walkStmts(stmt.Body.List, st)
-	case *ast.RangeStmt:
-		if tv, ok := c.Pkg.Info.Types[stmt.X]; ok {
+		return
+	case *flow.CommNode:
+		// The blocking decision belongs to the SelectHead; the comm
+		// statement itself (send or receive) must not be re-reported.
+		return
+	case *flow.RangeHead:
+		if tv, ok := c.Pkg.Info.Types[x.Stmt.X]; ok {
 			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-				c.blockingOp(stmt.Pos(), "range over channel", st)
+				c.blockingOp(x.Stmt.Pos(), "range over channel", held)
 			}
 		}
-		c.walkStmts(stmt.Body.List, st)
-	case *ast.SwitchStmt:
-		if stmt.Init != nil {
-			c.walkStmt(stmt.Init, st)
-		}
-		for _, cl := range stmt.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				c.walkStmts(cc.Body, st)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, cl := range stmt.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				c.walkStmts(cc.Body, st)
-			}
-		}
-	case *ast.LabeledStmt:
-		c.walkStmt(stmt.Stmt, st)
-	case *ast.GoStmt:
-		// The spawned goroutine runs outside this lock region; its body
-		// is scanned as its own function literal.
-	}
-}
-
-// scanExpr reports blocking operations inside an expression evaluated
-// while locks are held: receives, and calls to time.Sleep/time.After or
-// conn I/O. Function literals are skipped — they run later.
-func (c *Context) scanExpr(e ast.Expr, st *lockState) {
-	if len(st.held) == 0 || e == nil {
+		c.scanExprBlocking(x.Stmt.X, held)
+		return
+	case *ast.SendStmt:
+		c.blockingOp(x.Pos(), "channel send", held)
+		c.scanExprBlocking(x.Value, held)
+		return
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at return; goroutine bodies run elsewhere.
 		return
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
+	// Simple statements and control expressions: look for receives and
+	// blocking calls in the evaluated expressions.
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
 		case *ast.FuncLit:
-			return false
+			return false // runs later, outside this lock region
 		case *ast.UnaryExpr:
 			if x.Op == token.ARROW {
-				c.blockingOp(x.Pos(), "channel receive", st)
+				c.blockingOp(x.Pos(), "channel receive", held)
 			}
 		case *ast.CallExpr:
-			c.scanBlockingCall(x, st)
+			c.scanBlockingCall(x, held)
 		}
 		return true
 	})
 }
 
-func (c *Context) scanBlockingCall(call *ast.CallExpr, st *lockState) {
+// scanExprBlocking reports receives and blocking calls inside one
+// expression.
+func (c *Context) scanExprBlocking(e ast.Expr, held lockFacts) {
+	if e == nil {
+		return
+	}
+	c.scanNodeBlocking(e, held)
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Context) scanBlockingCall(call *ast.CallExpr, held lockFacts) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -178,7 +121,7 @@ func (c *Context) scanBlockingCall(call *ast.CallExpr, st *lockState) {
 	// Package-level time.Sleep/time.After only — time.Time.After (the
 	// comparison method) shares the name but blocks nothing.
 	if isPkgFunc(fn, "time") && (fn.Name() == "Sleep" || fn.Name() == "After") {
-		c.blockingOp(call.Pos(), "time."+fn.Name(), st)
+		c.blockingOp(call.Pos(), "time."+fn.Name(), held)
 		return
 	}
 	// I/O methods on net.Conn / net.PacketConn / net.Listener values.
@@ -192,7 +135,7 @@ func (c *Context) scanBlockingCall(call *ast.CallExpr, st *lockState) {
 		return
 	}
 	if tv, ok := c.Pkg.Info.Types[sel.X]; ok && isNetConnLike(tv.Type) {
-		c.blockingOp(call.Pos(), "network I/O ("+fn.Name()+")", st)
+		c.blockingOp(call.Pos(), "network I/O ("+fn.Name()+")", held)
 	}
 }
 
@@ -250,37 +193,6 @@ func derefNamed(t types.Type) (*types.Named, bool) {
 	return named, ok
 }
 
-// applyLockCall updates the held set for Lock/RLock/Unlock/RUnlock
-// calls on sync.Mutex/RWMutex values (including promoted methods on
-// embedding structs).
-func (c *Context) applyLockCall(e ast.Expr, st *lockState, deferred bool) {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	fn, ok := c.Pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || !isSyncLockMethod(fn) {
-		return
-	}
-	key := exprString(c.Pkg.Fset, sel.X)
-	switch fn.Name() {
-	case "Lock", "RLock":
-		if !deferred {
-			st.held[key] = call.Pos()
-		}
-	case "Unlock", "RUnlock":
-		if !deferred {
-			delete(st.held, key)
-		}
-		// defer x.Unlock(): the lock stays held to function end, which
-		// the plain held set already models.
-	}
-}
-
 func isSyncLockMethod(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
@@ -301,18 +213,13 @@ func isSyncLockMethod(fn *types.Func) bool {
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
-func (c *Context) blockingOp(pos token.Pos, what string, st *lockState) {
-	if len(st.held) == 0 {
+func (c *Context) blockingOp(pos token.Pos, what string, held lockFacts) {
+	if len(held) == 0 {
 		return
 	}
 	// Report against one deterministic lock key.
-	key := ""
-	for k := range st.held {
-		if key == "" || k < key {
-			key = k
-		}
-	}
-	ctxPos := c.Pkg.Fset.Position(st.held[key])
+	key := held.sortedKeys()[0]
+	ctxPos := c.Pkg.Fset.Position(held[key].pos)
 	c.Reportf(pos, "%s while holding %s.Lock() (locked at line %d); release the lock before blocking",
 		what, key, ctxPos.Line)
 }

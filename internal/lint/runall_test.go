@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDirectiveCoversStatementSpan pins the statement-span rule from
+// directives.go: a standalone //ecslint:ignore above a multi-line
+// statement suppresses findings on every line of that statement, and on
+// nothing past its end.
+func TestDirectiveCoversStatementSpan(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "spanfixture")
+	cfg := &Config{Enabled: map[string]bool{"wallclock": true}}
+	active, suppressed := RunAll([]*Package{pkg}, cfg)
+
+	// covered(): time.Now on lines 10 and 13 both sit inside the
+	// directive's statement span. notCovered(): line 20 is inside the
+	// span, line 22 is the next statement and must survive.
+	gotActive := make(map[int]bool)
+	for _, f := range active {
+		if f.Check != "wallclock" {
+			t.Errorf("unexpected %s finding: %s", f.Check, f)
+			continue
+		}
+		gotActive[f.Line] = true
+	}
+	if len(gotActive) != 1 || !gotActive[22] {
+		t.Errorf("active wallclock lines = %v, want exactly {22}", gotActive)
+	}
+
+	gotSuppressed := make(map[int]bool)
+	for _, f := range suppressed {
+		gotSuppressed[f.Line] = true
+		if f.IgnoredBy == "" {
+			t.Errorf("suppressed finding on line %d lost its justification", f.Line)
+		}
+	}
+	for _, want := range []int{10, 13, 20} {
+		if !gotSuppressed[want] {
+			t.Errorf("line %d not suppressed (got %v)", want, gotSuppressed)
+		}
+	}
+}
+
+// flowFixtures is the mixed load used by the determinism and race tests:
+// every flow-engine check has at least one package exercising it.
+var flowFixtures = []string{
+	"mutexholdbad", "mutexholdgood",
+	"lockorderbad", "lockordergood",
+	"ctxflowbad", "ctxflowgood",
+	"counterpartitionbad", "counterpartitiongood",
+	"ecssemanticsbad", "ecssemanticsgood",
+	"wallclockbad", "ignorefixture",
+}
+
+// allChecksFixtureConfig enables every registered check against the
+// fixture package lists.
+func allChecksFixtureConfig() *Config {
+	cfg := fixtureConfig("")
+	cfg.Enabled = nil
+	cfg.EnableAll = true
+	return cfg
+}
+
+func loadFlowFixtures(t *testing.T) []*Package {
+	t.Helper()
+	l := fixtureLoader(t)
+	var pkgs []*Package
+	for _, d := range flowFixtures {
+		pkgs = append(pkgs, loadFixture(t, l, d))
+	}
+	return pkgs
+}
+
+func renderFindings(active, suppressed []Finding) []byte {
+	var buf bytes.Buffer
+	for _, f := range active {
+		fmt.Fprintln(&buf, f)
+	}
+	for _, f := range suppressed {
+		fmt.Fprintf(&buf, "%s (ignored: %s)\n", f, f.IgnoredBy)
+	}
+	return buf.Bytes()
+}
+
+// TestRunAllDeterministic requires byte-identical output across repeated
+// runs over the same loaded tree: per-package goroutine scheduling and
+// map iteration inside the checks must never leak into the ordering or
+// content of findings.
+func TestRunAllDeterministic(t *testing.T) {
+	pkgs := loadFlowFixtures(t)
+	cfg := allChecksFixtureConfig()
+
+	first := renderFindings(RunAll(pkgs, cfg))
+	if len(first) == 0 {
+		t.Fatal("fixture run produced no findings; determinism test is vacuous")
+	}
+	for i := 0; i < 5; i++ {
+		got := renderFindings(RunAll(pkgs, cfg))
+		if !bytes.Equal(got, first) {
+			t.Fatalf("run %d diverged\n--- first ---\n%s--- run %d ---\n%s",
+				i+2, first, i+2, got)
+		}
+	}
+}
+
+// TestConcurrentRunsShareFlowCaches runs the whole analyzer from several
+// goroutines over the same packages. The lazily built flow programs and
+// CFGs (Package.Flow, FuncInfo.CFG) are shared across all of them; under
+// -race this pins that the sync.Once guards are sufficient and that no
+// check mutates shared package state.
+func TestConcurrentRunsShareFlowCaches(t *testing.T) {
+	pkgs := loadFlowFixtures(t)
+	cfg := allChecksFixtureConfig()
+
+	const workers = 8
+	results := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = renderFindings(RunAll(pkgs, cfg))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < workers; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Errorf("worker %d diverged from worker 0\n--- 0 ---\n%s--- %d ---\n%s",
+				i, results[0], i, results[i])
+		}
+	}
+}
+
+// BenchmarkLintTree measures one full analyzer pass over the real module
+// tree with the project policy: the acceptance budget is well under 30s
+// per run, and this keeps the number honest as checks accrete.
+func BenchmarkLintTree(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		b.Fatalf("loading packages: %v", err)
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(pkgs, cfg)
+	}
+}

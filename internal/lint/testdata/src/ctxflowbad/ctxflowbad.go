@@ -1,0 +1,53 @@
+// Package ctxflowbad takes contexts and then drops them at every kind
+// of blocking operation ctxflow knows about.
+package ctxflowbad
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// sleepy parks where cancellation cannot reach.
+func sleepy(ctx context.Context, d time.Duration) {
+	time.Sleep(d)
+}
+
+// bareSend blocks forever if nobody receives.
+func bareSend(ctx context.Context, ch chan int) {
+	ch <- 1
+}
+
+// bareRecv blocks forever if nobody sends.
+func bareRecv(ctx context.Context, ch chan int) int {
+	return <-ch
+}
+
+// noDone selects over data channels only: cancellation cannot pick it.
+func noDone(ctx context.Context, a, b chan int) {
+	select {
+	case <-a:
+	case <-b:
+	}
+}
+
+// drops severs the caller's cancellation chain.
+func drops(ctx context.Context) {
+	helper(context.Background())
+}
+
+func helper(ctx context.Context) {}
+
+// callsBlocking hides the park inside a context-free callee.
+func callsBlocking(ctx context.Context, ch chan int) {
+	pump(ch)
+}
+
+func pump(ch chan int) {
+	ch <- 1
+}
+
+// readNoDeadline performs socket I/O no deadline can unblock.
+func readNoDeadline(ctx context.Context, c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}

@@ -1,0 +1,59 @@
+// Package ctxflowgood threads its contexts through every blocking
+// operation: the cancellable forms ctxflow requires.
+package ctxflowgood
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// sends offers the value and cancellation together.
+func sends(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// sleeps waits on the timer and cancellation together.
+func sleeps(ctx context.Context, d time.Duration) {
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}
+
+// tryRecv never blocks: the default case makes the select a poll.
+func tryRecv(ctx context.Context, ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// drain uses the range-over-channel idiom: the sender closes the
+// channel on cancellation, which ends the loop.
+func drain(ctx context.Context, ch chan int) int {
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}
+
+// readWithDeadline arms the endpoint before blocking on it, the idiom
+// that lets cancellation (via the deadline) unblock the read.
+func readWithDeadline(ctx context.Context, c net.Conn, buf []byte, deadline time.Time) (int, error) {
+	if err := c.SetReadDeadline(deadline); err != nil {
+		return 0, err
+	}
+	return c.Read(buf)
+}
+
+// forwards keeps the chain intact by passing ctx to the callee.
+func forwards(ctx context.Context, ch chan int) {
+	sends(ctx, ch)
+}

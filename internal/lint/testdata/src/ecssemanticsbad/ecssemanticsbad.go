@@ -1,0 +1,59 @@
+// Package ecssemanticsbad commits the paper's §8.3 bug class: raw
+// (unmasked) addresses flowing into prefixes, cache keys, and
+// comparisons, and scope prefixes with no provable bound.
+package ecssemanticsbad
+
+import "net/netip"
+
+// ClientSubnet mirrors the shape ecssemantics recognizes.
+type ClientSubnet struct {
+	SourcePrefix uint8
+	ScopePrefix  uint8
+	Addr         netip.Addr
+}
+
+// WithScope sets the scope prefix.
+func (cs ClientSubnet) WithScope(scope int) ClientSubnet {
+	cs.ScopePrefix = uint8(scope)
+	return cs
+}
+
+// MaskAddr stands in for the real masking helper.
+func MaskAddr(a netip.Addr, bits int) netip.Addr {
+	p, err := a.Prefix(bits)
+	if err != nil {
+		return a
+	}
+	return p.Addr()
+}
+
+// rawPrefix hands an unmasked address to PrefixFrom, which keeps the
+// host bits.
+func rawPrefix(s string, bits int) netip.Prefix {
+	a := netip.MustParseAddr(s)
+	return netip.PrefixFrom(a, bits)
+}
+
+// rawKey fragments the cache: one slot per client instead of per subnet.
+func rawKey(m map[netip.Addr]int, s string) int {
+	a := netip.MustParseAddr(s)
+	return m[a]
+}
+
+// mixedCompare can only be equal for hostless clients.
+func mixedCompare(s string, bits int) bool {
+	raw := netip.MustParseAddr(s)
+	masked := MaskAddr(raw, bits)
+	return raw == masked
+}
+
+// echoScope forwards a wire scope with no bound against the source.
+func echoScope(cs ClientSubnet, wire uint8) ClientSubnet {
+	return cs.WithScope(int(wire))
+}
+
+// rawLit stores an unmasked address in the subnet struct.
+func rawLit(s string, bits int) ClientSubnet {
+	a := netip.MustParseAddr(s)
+	return ClientSubnet{SourcePrefix: uint8(bits), Addr: a}
+}

@@ -1,0 +1,82 @@
+// Package ecssemanticsgood handles ECS addresses the provably-safe way:
+// masked before use, scopes clamped or taken from the source prefix.
+package ecssemanticsgood
+
+import "net/netip"
+
+// ClientSubnet mirrors the shape ecssemantics recognizes.
+type ClientSubnet struct {
+	SourcePrefix uint8
+	ScopePrefix  uint8
+	Addr         netip.Addr
+}
+
+// WithScope sets the scope prefix.
+func (cs ClientSubnet) WithScope(scope int) ClientSubnet {
+	cs.ScopePrefix = uint8(scope)
+	return cs
+}
+
+// MaskAddr stands in for the real masking helper.
+func MaskAddr(a netip.Addr, bits int) netip.Addr {
+	p, err := a.Prefix(bits)
+	if err != nil {
+		return a
+	}
+	return p.Addr()
+}
+
+// ClampScope bounds a response scope by the query source.
+func ClampScope(source, scope uint8) uint8 {
+	if scope > source {
+		return source
+	}
+	return scope
+}
+
+// maskedPrefix upgrades the variable by reassignment: raw before the
+// MaskAddr call, masked at the PrefixFrom.
+func maskedPrefix(s string, bits int) netip.Prefix {
+	a := netip.MustParseAddr(s)
+	a = MaskAddr(a, bits)
+	return netip.PrefixFrom(a, bits)
+}
+
+// fullPrefix is the exempt identity form: full bit length has no host
+// bits to leak.
+func fullPrefix(a netip.Addr) netip.Prefix {
+	return netip.PrefixFrom(a, a.BitLen())
+}
+
+// maskedKey indexes the cache at the subnet granularity.
+func maskedKey(m map[netip.Addr]int, s string, bits int) int {
+	masked := MaskAddr(netip.MustParseAddr(s), bits)
+	return m[masked]
+}
+
+// clamped routes the wire scope through ClampScope before storing it.
+func clamped(cs ClientSubnet, wire uint8) ClientSubnet {
+	scope := ClampScope(cs.SourcePrefix, wire)
+	return cs.WithScope(int(scope))
+}
+
+// echoSource echoes the subnet's own source prefix: trivially bounded.
+func echoSource(cs ClientSubnet) ClientSubnet {
+	return cs.WithScope(int(cs.SourcePrefix))
+}
+
+// zeroScope is the query-side form.
+func zeroScope(cs ClientSubnet) ClientSubnet {
+	return cs.WithScope(0)
+}
+
+// minScope bounds via the builtin min.
+func minScope(cs ClientSubnet, wire uint8) ClientSubnet {
+	return cs.WithScope(int(min(wire, cs.SourcePrefix)))
+}
+
+// buildMasked constructs the subnet from a masked address.
+func buildMasked(s string, bits int) ClientSubnet {
+	a := MaskAddr(netip.MustParseAddr(s), bits)
+	return ClientSubnet{SourcePrefix: uint8(bits), Addr: a}
+}

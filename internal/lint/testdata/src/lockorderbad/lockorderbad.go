@@ -1,0 +1,39 @@
+// Package lockorderbad acquires two lock classes in opposite orders,
+// and re-enters one through a callee: both deadlock shapes lockorder
+// must catch.
+package lockorderbad
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// aThenB establishes the order A.mu -> B.mu.
+func aThenB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// bThenA establishes the opposite order: a cycle with aThenB.
+func bThenA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// reenter self-deadlocks through the callee: helper re-acquires A.mu
+// while reenter still holds it.
+func reenter(a *A) {
+	a.mu.Lock()
+	helper(a)
+	a.mu.Unlock()
+}
+
+func helper(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}

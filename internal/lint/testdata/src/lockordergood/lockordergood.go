@@ -1,0 +1,38 @@
+// Package lockordergood takes its two lock classes in one consistent
+// order everywhere, and releases before calling back into locking code:
+// no cycle exists.
+package lockordergood
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// pairOne and pairTwo both follow the discipline A.mu before B.mu.
+func pairOne(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func pairTwo(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// dropFirst releases its lock before calling a function that locks the
+// same class again: sequential, not nested, so no self-edge.
+func dropFirst(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	relock(a)
+}
+
+func relock(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}

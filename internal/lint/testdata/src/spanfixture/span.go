@@ -1,0 +1,24 @@
+// Package spanfixture exercises the statement-span rule: a standalone
+// directive above a multi-line statement covers every line of that
+// statement, and nothing past its end.
+package spanfixture
+
+import "time"
+
+func covered() time.Duration {
+	//ecslint:ignore wallclock fixture: one directive covers the whole multi-line call chain
+	d := time.Now().
+		Add(2 * time.Second).
+		Sub(
+			time.Now(),
+		)
+	return d
+}
+
+func notCovered() time.Duration {
+	//ecslint:ignore wallclock fixture: covers only the first assignment statement
+	a := time.Now().
+		Add(time.Second)
+	b := time.Now()
+	return a.Sub(b)
+}

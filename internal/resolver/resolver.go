@@ -299,6 +299,7 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 	}
 	if respHasECS && sentECS {
 		entry.HasECS = true
+		//ecslint:ignore ecssemantics wire scope is stored as observed; ecscache clamps at insert when the profile sets ClampScopeToSource
 		entry.Subnet = sent.WithScope(int(respECS.ScopePrefix))
 	}
 	skipCache := bypassCache ||
@@ -320,6 +321,7 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 			}
 			echo, err := ecsopt.New(clientAddr, clientBits)
 			if err == nil {
+				//ecslint:ignore ecssemantics echoes the upstream's observed scope verbatim; the paper measures exactly this pass-through behavior
 				ecsopt.Attach(resp, echo.WithScope(scope))
 			}
 		}
@@ -399,6 +401,7 @@ func (r *Resolver) answerFailure(resp *dnswire.Message, key ecscache.Key, client
 				resp.EDNS = dnswire.NewEDNS()
 				if e.HasECS {
 					if echo, err := ecsopt.New(clientAddr, clientBits); err == nil {
+						//ecslint:ignore ecssemantics echoes the cached entry's scope; the cache already clamped it at insert when policy demands
 						ecsopt.Attach(resp, echo.WithScope(int(e.Subnet.ScopePrefix)))
 					}
 				}
@@ -617,6 +620,7 @@ func (r *Resolver) answerFromEntry(resp *dnswire.Message, e *ecscache.Entry, now
 		if e.HasECS {
 			echo, err := ecsopt.New(clientAddr, clientBits)
 			if err == nil {
+				//ecslint:ignore ecssemantics echoes the cached entry's scope; the cache already clamped it at insert when policy demands
 				ecsopt.Attach(resp, echo.WithScope(int(e.Subnet.ScopePrefix)))
 			}
 		}
