@@ -57,6 +57,7 @@ func BenchmarkExtAdaptive(b *testing.B)    { runExp(b, "ext_adaptive") }
 func BenchmarkExtECSFraction(b *testing.B) { runExp(b, "ext_ecsfraction") }
 func BenchmarkExtEvictions(b *testing.B)   { runExp(b, "ext_evictions") }
 func BenchmarkExtLabStudy(b *testing.B)    { runExp(b, "ext_labstudy") }
+func BenchmarkExtScale(b *testing.B)       { runExp(b, "ext_scale") }
 
 // Ablation benches for the design choices DESIGN.md calls out.
 

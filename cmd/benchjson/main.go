@@ -1,0 +1,185 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON artifact and validates it, so benchmark results can be
+// committed, diffed, and uploaded from CI without scraping logs.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem ./internal/ecscache | \
+//	    benchjson -require BenchmarkCacheLookup,BenchmarkCacheChurn \
+//	              -out results/BENCH_cache.json
+//
+// The parser understands the standard benchmark line format — name,
+// iteration count, then (value, unit) pairs — plus the goos/goarch/
+// pkg/cpu header keys. Validation fails (exit 1) when no benchmark
+// lines parse, when a benchmark is missing its ns/op measurement, or
+// when a -require name has no matching benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Name keeps the full sub-bench
+// path including the trailing -GOMAXPROCS suffix, so runs at
+// different -cpu settings stay distinct.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds every other (value, unit) pair on the line:
+	// B/op and allocs/op from -benchmem, plus any b.ReportMetric
+	// custom units.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the artifact schema.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	require := flag.String("require", "", "comma-separated benchmark names that must be present (prefix match on the base name)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("benchjson: unexpected arguments %q", flag.Args())
+	}
+
+	parsed, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if err := validate(parsed, splitRequire(*require)); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+
+	data, err := json.MarshalIndent(parsed, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(parsed.Benchmarks), *out)
+}
+
+func splitRequire(spec string) []string {
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// parse consumes go test -bench output, collecting header keys and
+// benchmark result lines; everything else (PASS, ok, test logs) is
+// ignored.
+func parse(r io.Reader) (*Output, error) {
+	out := &Output{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			if ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine decodes one result line:
+//
+//	BenchmarkFoo/sub-8   12345   97.3 ns/op   16 B/op   2 allocs/op
+//
+// ok is false for Benchmark lines that are not results (a bare name
+// is printed before its measurements when -v interleaves output).
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("bad value %q: %w", fields[i], err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = val
+	}
+	return b, true, nil
+}
+
+// validate enforces the artifact contract: at least one benchmark,
+// ns/op on every line, and every required name present. Required
+// names match the base benchmark (the path component before any /sub
+// or -GOMAXPROCS suffix), so "BenchmarkCacheLookup" covers all its
+// sub-benchmarks.
+func validate(out *Output, required []string) error {
+	if len(out.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+	seen := make(map[string]bool)
+	for _, b := range out.Benchmarks {
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: missing ns/op measurement", b.Name)
+		}
+		base, _, _ := strings.Cut(b.Name, "/")
+		base, _, _ = strings.Cut(base, "-")
+		seen[base] = true
+	}
+	for _, want := range required {
+		if !seen[want] {
+			return fmt.Errorf("required benchmark %s not present", want)
+		}
+	}
+	return nil
+}

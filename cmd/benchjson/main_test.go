@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ecsdns/internal/ecscache
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCacheLookup/unbounded/shards-1-4         	  200000	       900.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCacheLookup/bounded/shards-8-4           	  200000	       749.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCacheChurn/shards-8-4                    	  200000	       740.4 ns/op	      48 B/op	       0 allocs/op
+PASS
+ok  	ecsdns/internal/ecscache	1.131s
+`
+
+func TestParseSample(t *testing.T) {
+	out, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Goos != "linux" || out.Pkg != "ecsdns/internal/ecscache" {
+		t.Fatalf("header: %+v", out)
+	}
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks", len(out.Benchmarks))
+	}
+	b := out.Benchmarks[0]
+	if b.Name != "BenchmarkCacheLookup/unbounded/shards-1-4" {
+		t.Fatalf("name = %q", b.Name)
+	}
+	if b.Iterations != 200000 || b.NsPerOp != 900.1 {
+		t.Fatalf("result: %+v", b)
+	}
+	if b.Metrics["allocs/op"] != 0 || out.Benchmarks[2].Metrics["B/op"] != 48 {
+		t.Fatalf("metrics: %+v", out.Benchmarks)
+	}
+}
+
+func TestValidateRequire(t *testing.T) {
+	out, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(out, []string{"BenchmarkCacheLookup", "BenchmarkCacheChurn"}); err != nil {
+		t.Fatalf("required names present but validate failed: %v", err)
+	}
+	if err := validate(out, []string{"BenchmarkMissing"}); err == nil {
+		t.Fatal("missing required benchmark accepted")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	out, err := parse(strings.NewReader("PASS\nok \tecsdns\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(out, nil); err == nil {
+		t.Fatal("empty benchmark set accepted")
+	}
+}
+
+func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
+	// -v interleaving prints the bare name before the result line.
+	in := "BenchmarkCacheChurn\nBenchmarkCacheChurn/shards-8-4 \t 100 \t 12.5 ns/op\n"
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 1 || out.Benchmarks[0].NsPerOp != 12.5 {
+		t.Fatalf("benchmarks: %+v", out.Benchmarks)
+	}
+}

@@ -7,7 +7,9 @@
 // Usage:
 //
 //	recursor [-listen 127.0.0.1:5301] [-zone scan.example.org] \
-//	         [-upstream 127.0.0.1:5300] [-profile compliant]
+//	         [-upstream 127.0.0.1:5300] [-profile compliant] \
+//	         [-cache-entries 100000] [-cache-shards 8] \
+//	         [-negative-ttl 30s] [-min-ttl 0] [-max-ttl 0] [-no-coalesce]
 //
 // Profiles: compliant, google, jammed, ignore-scope, cap22,
 // long-prefix, private-prefix, loopback-prober, none.
@@ -55,6 +57,12 @@ func main() {
 	overflow := flag.String("overflow", "drop", "admission overflow policy: drop or servfail")
 	rrlSpec := flag.String("rrl", "", "response-rate limit, e.g. rate=20,burst=40,slip=2 (empty = off)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGTERM before force close")
+	cacheEntries := flag.Int("cache-entries", 0, "cache capacity in entries, LRU-evicted over the bound (0 = unbounded)")
+	cacheShards := flag.Int("cache-shards", 8, "independently locked cache shards (rounded up to a power of two)")
+	negTTL := flag.Duration("negative-ttl", 0, "cap on cached negative-answer lifetime (0 = 30s default)")
+	minTTL := flag.Duration("min-ttl", 0, "floor on cached positive-answer lifetime (0 = off)")
+	maxTTL := flag.Duration("max-ttl", 0, "cap on every cached lifetime (0 = off)")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable singleflight deduplication of concurrent identical misses")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -85,6 +93,15 @@ func main() {
 	if *drain <= 0 {
 		log.Fatalf("recursor: -drain must be positive, got %v", *drain)
 	}
+	if *cacheEntries < 0 {
+		log.Fatalf("recursor: -cache-entries must be non-negative, got %d", *cacheEntries)
+	}
+	if *cacheShards < 1 {
+		log.Fatalf("recursor: -cache-shards must be positive, got %d", *cacheShards)
+	}
+	if *negTTL < 0 || *minTTL < 0 || *maxTTL < 0 {
+		log.Fatal("recursor: TTL clamps must be non-negative")
+	}
 
 	// The directory routes the configured zone (and everything else) to
 	// a placeholder address; the socket transport ignores it and talks
@@ -104,12 +121,18 @@ func main() {
 	}
 
 	res := resolver.New(resolver.Config{
-		Addr:      selfAddr,
-		Transport: &socketTransport{client: &dnsclient.Client{}, upstream: *upstream},
-		Now:       time.Now, //ecslint:ignore wallclock live server: cache ages on the real clock
-		Directory: dir,
-		Profile:   profile,
-		Seed:      time.Now().UnixNano(), //ecslint:ignore wallclock live server wants unpredictable IDs, not replay
+		Addr:              selfAddr,
+		Transport:         &socketTransport{client: &dnsclient.Client{}, upstream: *upstream},
+		Now:               time.Now, //ecslint:ignore wallclock live server: cache ages on the real clock
+		Directory:         dir,
+		Profile:           profile,
+		Seed:              time.Now().UnixNano(), //ecslint:ignore wallclock live server wants unpredictable IDs, not replay
+		CacheEntries:      *cacheEntries,
+		CacheShards:       *cacheShards,
+		NegativeTTL:       *negTTL,
+		MinTTL:            *minTTL,
+		MaxTTL:            *maxTTL,
+		DisableCoalescing: *noCoalesce,
 	})
 
 	srv := dnsserver.New(res)
@@ -135,6 +158,7 @@ func main() {
 	client, up := res.Counters()
 	log.Printf("recursor: served %d client queries, sent %d upstream", client, up)
 	log.Printf("recursor: %s", srv.Stats())
+	log.Printf("recursor: cache %s", res.Cache().Stats())
 }
 
 func parseOverflow(spec string) (dnsserver.OverflowPolicy, error) {

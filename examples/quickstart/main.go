@@ -93,7 +93,7 @@ func main() {
 	fmt.Println("client B, different /24 (scope forbids reuse → upstream query):")
 	ask("B", clientB)
 
-	hits, misses := res.Cache().Stats()
+	st := res.Cache().Stats()
 	fmt.Printf("\nresolver cache: %d hits, %d misses; authority answered %d queries\n",
-		hits, misses, queries)
+		st.Hits, st.Misses, queries)
 }

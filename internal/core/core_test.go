@@ -41,7 +41,7 @@ func metric(t *testing.T, rep *Report, name string) Metric {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext_adaptive", "ext_ecsfraction", "ext_evictions", "ext_labstudy",
+		"ext_adaptive", "ext_ecsfraction", "ext_evictions", "ext_labstudy", "ext_scale",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"section4", "section5", "section6_1", "section6_3", "table1", "table2",
 	}
@@ -348,6 +348,32 @@ func TestExtEvictionsShape(t *testing.T) {
 	// The capacity ratio tracks the fig2 blow-up factor (paper: 4.3).
 	if ratio.Measured < 2 || ratio.Measured > 8 {
 		t.Errorf("capacity ratio = %v, want the fig2 blow-up scale", ratio.Measured)
+	}
+}
+
+func TestExtScaleShape(t *testing.T) {
+	rep := runExperiment(t, "ext_scale", testConfig())
+	b1 := metric(t, rep, "blow-up factor at 1× population")
+	b100 := metric(t, rep, "blow-up factor at 100× population")
+	e1 := metric(t, rep, "premature evictions/100q at 1×, fixed capacity")
+	e100 := metric(t, rep, "premature evictions/100q at 100×, fixed capacity")
+	cross := metric(t, rep, "real-cache vs model evictions at 100×")
+	// The blow-up factor keeps growing with the client pool (fig2's
+	// curve does not flatten), so 100× must exceed 1×.
+	if b100.Measured <= b1.Measured {
+		t.Errorf("blow-up at 100× (%v) not above 1× (%v)", b100.Measured, b1.Measured)
+	}
+	// A capacity provisioned for 1× must collapse under 100× clients.
+	if e100.Measured <= e1.Measured {
+		t.Errorf("eviction rate at 100× (%v) not above 1× (%v)", e100.Measured, e1.Measured)
+	}
+	if e100.Measured < 1 {
+		t.Errorf("eviction rate at 100× = %v/100q; fixed capacity should be under real pressure", e100.Measured)
+	}
+	// Cross-validation: the real cache and the standalone LRU model
+	// must agree on the order of eviction pressure.
+	if cross.Paper > 0 && (cross.Measured > 3*cross.Paper || cross.Paper > 3*cross.Measured) {
+		t.Errorf("real cache evictions %v vs model %v disagree beyond 3×", cross.Measured, cross.Paper)
 	}
 }
 

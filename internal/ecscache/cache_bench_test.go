@@ -1,0 +1,159 @@
+package ecscache
+
+import (
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// The benchmarks below are the contract behind BENCH_cache.json: they
+// pit the single-mutex baseline (Shards: 1) against the sharded layout
+// at GOMAXPROCS shards, on both the unbounded (RLock) and bounded
+// (exclusive lock, LRU maintenance) lookup paths. verify.sh replays
+// them through cmd/benchjson to regenerate the artifact.
+
+var benchNow = time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// benchLayouts is the shard sweep every cache benchmark runs: the
+// serialized single-mutex baseline against the default sharded
+// layout. Run with -cpu above 1 (as verify.sh does) so RunParallel
+// actually contends the locks.
+func benchLayouts() []struct {
+	name   string
+	shards int
+} {
+	return []struct {
+		name   string
+		shards int
+	}{
+		{"shards-1", 1},
+		{"shards-8", 8},
+	}
+}
+
+// benchKeys returns n distinct question keys so load spreads across
+// shards the way distinct names do in a live resolver.
+func benchKeys(n int) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{
+			Name:  dnswire.MustParseName(fmt.Sprintf("n%03d.bench.example.", i)),
+			Type:  dnswire.TypeA,
+			Class: dnswire.ClassINET,
+		}
+	}
+	return keys
+}
+
+// benchSubnet derives the i-th /24 and a client address inside it.
+func benchSubnet(i int) (ecsopt.ClientSubnet, netip.Addr) {
+	base := netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0})
+	client := netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 7})
+	return ecsopt.MustNew(base, 24).WithScope(24), client
+}
+
+func benchFill(c *Cache, keys []Key, fanout int) {
+	for _, key := range keys {
+		for i := 0; i < fanout; i++ {
+			cs, _ := benchSubnet(i)
+			c.Insert(key, Entry{
+				HasECS: true,
+				Subnet: cs,
+				Expiry: benchNow.Add(time.Hour),
+			}, benchNow)
+		}
+	}
+}
+
+// BenchmarkCacheLookup measures concurrent hit-path lookups. The
+// bounded variants pay for LRU recency under an exclusive shard lock,
+// so they are where shard count shows up; the unbounded variants
+// share an RLock and mostly measure the covering scan.
+func BenchmarkCacheLookup(b *testing.B) {
+	const (
+		keyCount = 64
+		fanout   = 32
+	)
+	for _, bound := range []struct {
+		name string
+		max  int
+	}{
+		{"unbounded", 0},
+		// Capacity above the resident population: every lookup still
+		// hits, but takes the bounded write-locked path.
+		{"bounded", 2 * keyCount * fanout},
+	} {
+		for _, layout := range benchLayouts() {
+			b.Run(bound.name+"/"+layout.name, func(b *testing.B) {
+				c := New(Config{
+					Mode:               HonorScope,
+					ClampScopeToSource: true,
+					Shards:             layout.shards,
+					MaxEntries:         bound.max,
+				})
+				keys := benchKeys(keyCount)
+				benchFill(c, keys, fanout)
+				var ctr atomic.Uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						n := int(ctr.Add(1))
+						key := keys[n%keyCount]
+						_, client := benchSubnet(n % fanout)
+						if _, ok := c.Lookup(key, client, benchNow); !ok {
+							b.Error("unexpected miss")
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkCacheChurn measures a mixed workload under a capacity bound
+// tight enough that inserts continually evict: three lookups per
+// insert, with the insert stream walking an unbounded subnet space so
+// the LRU never stops working. This is the write-heavy contention
+// case where a single mutex serializes everything.
+func BenchmarkCacheChurn(b *testing.B) {
+	const keyCount = 64
+	for _, layout := range benchLayouts() {
+		b.Run(layout.name, func(b *testing.B) {
+			c := New(Config{
+				Mode:               HonorScope,
+				ClampScopeToSource: true,
+				Shards:             layout.shards,
+				MaxEntries:         1024,
+			})
+			keys := benchKeys(keyCount)
+			benchFill(c, keys, 8)
+			var ctr atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := int(ctr.Add(1))
+					key := keys[n%keyCount]
+					if n%4 == 0 {
+						cs, _ := benchSubnet(n % 65536)
+						c.Insert(key, Entry{
+							HasECS: true,
+							Subnet: cs,
+							Expiry: benchNow.Add(time.Hour),
+						}, benchNow)
+					} else {
+						_, client := benchSubnet(n % 65536)
+						c.Lookup(key, client, benchNow)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package ecscache
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// sameHit compares the observable content of two lookup results.
+func sameHit(a, b *Entry) bool {
+	if a.HasECS != b.HasECS || a.RCode != b.RCode || len(a.Answer) != len(b.Answer) {
+		return false
+	}
+	if a.HasECS && a.Subnet != b.Subnet {
+		return false
+	}
+	return a.Expiry.Equal(b.Expiry)
+}
+
+// diffKey returns one of a small pool of question keys. Keys 0..5 carry
+// ECS entries, 6..7 shared (non-ECS) entries — kept disjoint because an
+// ECS entry at effective scope 0 and a shared entry are distinct slots
+// whose tie-break order is storage-layout-specific, which is exactly
+// the kind of incidental difference this test must not depend on.
+func diffKey(i int) Key {
+	return Key{
+		Name:  dnswire.Name(fmt.Sprintf("d%d.example.com.", i)),
+		Type:  dnswire.TypeA,
+		Class: dnswire.ClassINET,
+	}
+}
+
+// TestDifferentialImplementations drives every storage layout — linear
+// and indexed, single-shard and sharded — through one randomized
+// operation stream and demands bit-identical observable behavior:
+// lookup outcomes and winning entries, stale fallbacks, live counts,
+// purge totals and the full counter set. This is the contract that
+// makes Config.Indexed and Config.Shards pure performance knobs.
+func TestDifferentialImplementations(t *testing.T) {
+	modes := []struct {
+		name string
+		base Config
+	}{
+		{"honor", Config{Mode: HonorScope, ClampScopeToSource: true}},
+		{"ignore", Config{Mode: IgnoreScope, ClampScopeToSource: true}},
+		{"cap22", Config{Mode: CapScope, CapBits: 22}},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			layouts := []struct {
+				name    string
+				indexed bool
+				shards  int
+			}{
+				{"linear-1", false, 1},
+				{"indexed-1", true, 1},
+				{"linear-8", false, 8},
+				{"indexed-8", true, 8},
+			}
+			caches := make([]*Cache, len(layouts))
+			for i, l := range layouts {
+				cfg := mode.base
+				cfg.Indexed = l.indexed
+				cfg.Shards = l.shards
+				caches[i] = New(cfg)
+			}
+
+			rng := rand.New(rand.NewSource(443))
+			now := t0
+			for i := 0; i < 4000; i++ {
+				// Strictly advancing clock: every insert gets a unique
+				// expiry, so freshest-entry tie-breaks cannot occur.
+				now = now.Add(time.Duration(1+rng.Intn(1200)) * time.Millisecond)
+				var raw [4]byte
+				rng.Read(raw[:])
+				client := netip.AddrFrom4(raw)
+
+				switch op := rng.Intn(100); {
+				case op < 50: // insert
+					var e Entry
+					key := diffKey(rng.Intn(8))
+					if rng.Intn(8) == 0 {
+						e = negEntry(time.Duration(1+rng.Intn(60)) * time.Second)
+					} else {
+						e = Entry{
+							Answer: []dnswire.RR{{Name: "d.example.com.", Class: dnswire.ClassINET,
+								TTL: 60, Data: dnswire.ARData{Addr: addr("192.0.2.7")}}},
+						}
+					}
+					e.Expiry = now.Add(time.Duration(1+rng.Intn(45)) * time.Second)
+					if key != diffKey(6) && key != diffKey(7) {
+						source := 8 + rng.Intn(17) // 8..24
+						scope := 1 + rng.Intn(32)  // 1..32
+						e.Subnet = ecsopt.MustNew(client, source).WithScope(scope)
+						e.HasECS = true
+					}
+					for _, c := range caches {
+						c.Insert(key, e, now)
+					}
+				case op < 85: // lookup
+					key := diffKey(rng.Intn(8))
+					ref, refOK := caches[0].Lookup(key, client, now)
+					for ci := 1; ci < len(caches); ci++ {
+						got, ok := caches[ci].Lookup(key, client, now)
+						if ok != refOK {
+							t.Fatalf("op %d: %s lookup ok=%v, %s ok=%v (key %v client %s)",
+								i, layouts[ci].name, ok, layouts[0].name, refOK, key, client)
+						}
+						if ok && !sameHit(ref, got) {
+							t.Fatalf("op %d: %s returned a different entry than %s:\n%+v\nvs\n%+v",
+								i, layouts[ci].name, layouts[0].name, got, ref)
+						}
+					}
+				case op < 93: // stale lookup
+					key := diffKey(rng.Intn(8))
+					maxStale := time.Duration(1+rng.Intn(90)) * time.Second
+					ref, refOK := caches[0].LookupStale(key, client, now, maxStale)
+					for ci := 1; ci < len(caches); ci++ {
+						got, ok := caches[ci].LookupStale(key, client, now, maxStale)
+						if ok != refOK || (ok && !sameHit(ref, got)) {
+							t.Fatalf("op %d: stale lookup diverged on %s", i, layouts[ci].name)
+						}
+					}
+				case op < 98: // live count
+					ref := caches[0].Len(now)
+					for ci := 1; ci < len(caches); ci++ {
+						if got := caches[ci].Len(now); got != ref {
+							t.Fatalf("op %d: %s Len=%d, %s Len=%d",
+								i, layouts[ci].name, got, layouts[0].name, ref)
+						}
+					}
+				default: // purge
+					ref := caches[0].PurgeExpired(now)
+					for ci := 1; ci < len(caches); ci++ {
+						if got := caches[ci].PurgeExpired(now); got != ref {
+							t.Fatalf("op %d: %s purged %d, %s purged %d",
+								i, layouts[ci].name, got, layouts[0].name, ref)
+						}
+					}
+				}
+			}
+
+			ref := caches[0].Stats()
+			for ci := 1; ci < len(caches); ci++ {
+				if got := caches[ci].Stats(); got != ref {
+					t.Fatalf("final stats diverged:\n%s: %+v\n%s: %+v",
+						layouts[ci].name, got, layouts[0].name, ref)
+				}
+			}
+			if !ref.Balanced() || ref.Evictions != 0 {
+				t.Fatalf("unbounded run ended unbalanced or evicting: %+v", ref)
+			}
+		})
+	}
+}
+
+// TestDifferentialBounded runs the linear and indexed layouts side by
+// side under a shared capacity bound at the same shard count: the
+// recency order, and therefore every eviction decision and the
+// premature-eviction split, must match exactly.
+func TestDifferentialBounded(t *testing.T) {
+	mk := func(indexed bool) *Cache {
+		return New(Config{
+			Mode: HonorScope, ClampScopeToSource: true,
+			Indexed: indexed, Shards: 4, MaxEntries: 24,
+		})
+	}
+	lin, idx := mk(false), mk(true)
+
+	rng := rand.New(rand.NewSource(17))
+	now := t0
+	for i := 0; i < 6000; i++ {
+		now = now.Add(time.Duration(1+rng.Intn(900)) * time.Millisecond)
+		var raw [4]byte
+		rng.Read(raw[:])
+		client := netip.AddrFrom4(raw)
+		key := diffKey(rng.Intn(6))
+		if rng.Intn(2) == 0 {
+			e := Entry{
+				Subnet: ecsopt.MustNew(client, 8+rng.Intn(17)).WithScope(1 + rng.Intn(32)),
+				HasECS: true,
+				Answer: []dnswire.RR{{Name: "d.example.com.", Class: dnswire.ClassINET,
+					TTL: 60, Data: dnswire.ARData{Addr: addr("192.0.2.7")}}},
+				Expiry: now.Add(time.Duration(1+rng.Intn(45)) * time.Second),
+			}
+			lin.Insert(key, e, now)
+			idx.Insert(key, e, now)
+		} else {
+			le, lok := lin.Lookup(key, client, now)
+			ie, iok := idx.Lookup(key, client, now)
+			if lok != iok || (lok && !sameHit(le, ie)) {
+				t.Fatalf("op %d: bounded lookup diverged (linear ok=%v, indexed ok=%v)", i, lok, iok)
+			}
+		}
+	}
+	ls, is := lin.Stats(), idx.Stats()
+	if ls != is {
+		t.Fatalf("bounded stats diverged:\nlinear:  %+v\nindexed: %+v", ls, is)
+	}
+	if ls.Evictions == 0 {
+		t.Fatal("bounded run produced no evictions; the test exercised nothing")
+	}
+	if got, ref := idx.Len(now), lin.Len(now); got != ref {
+		t.Fatalf("bounded Len diverged: linear %d, indexed %d", ref, got)
+	}
+}

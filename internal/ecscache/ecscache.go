@@ -7,11 +7,24 @@
 // behavior, the scope-ignoring behavior exhibited by over half the
 // studied resolvers, and the /22-capping behavior are all selectable, so
 // the same resolver code can reproduce each observed behavior class.
+//
+// The storage layer is built for production load. The key space is
+// hash-partitioned across N independently locked shards
+// (Config.Shards), each guarded by its own sync.RWMutex, so concurrent
+// lookups on different shards never contend. A configured capacity
+// bound (Config.MaxEntries) is enforced per shard with an O(1)
+// intrusive-list LRU: the eviction counters distinguish entries pushed
+// out while still alive (premature evictions — the §7 operator cost the
+// bounded cachesim replays model) from entries that merely expired.
+// Negative answers are bounded by Config.NegativeTTL, positive TTLs are
+// clamped into [MinTTL, MaxTTL], and the singleflight layer (Do)
+// collapses a thundering herd of identical misses into one upstream
+// query. Scope-mode semantics are byte-for-byte identical at every
+// shard count; the differential tests enforce this.
 package ecscache
 
 import (
 	"net/netip"
-	"sync"
 	"time"
 
 	"ecsdns/internal/dnswire"
@@ -45,16 +58,27 @@ type Entry struct {
 	Expiry time.Time
 	// Stored is when the entry was inserted (for remaining-TTL math).
 	Stored time.Time
+
+	// Intrusive LRU links, owned by the storing shard and valid only
+	// while the entry is resident in a capacity-bounded cache. Insert
+	// clears them on its private copy, so caller-held Entry values can
+	// be reinserted safely.
+	lruPrev, lruNext *Entry
+	// lruKey remembers the question so an eviction can find the entry's
+	// storage slot from the list tail alone.
+	lruKey Key
 }
 
-// RemainingTTL returns the whole seconds of life left at `now`, never
-// negative.
+// RemainingTTL returns the seconds of life left at `now`, rounded up so
+// that any still-live entry advertises at least 1 (a truncating version
+// served TTL 0 for entries with up to 999ms of life, which downstream
+// caches treat as uncacheable). Expired entries return 0.
 func (e *Entry) RemainingTTL(now time.Time) uint32 {
 	d := e.Expiry.Sub(now)
 	if d <= 0 {
 		return 0
 	}
-	return uint32(d / time.Second)
+	return uint32((d + time.Second - 1) / time.Second)
 }
 
 // ScopeMode selects how the cache applies ECS scope, modeling the
@@ -87,24 +111,38 @@ type Config struct {
 	// NegativeTTL bounds how long entries with non-NoError rcodes live
 	// when the response provides no better bound. Zero means 30s.
 	NegativeTTL time.Duration
+	// MinTTL raises the lifetime of live NoError entries to a floor,
+	// defending the cache against pathological 0/1-second TTLs. Zero
+	// disables the floor.
+	MinTTL time.Duration
+	// MaxTTL caps the lifetime of every entry, bounding how long a
+	// poisoned or misconfigured record can persist. Zero disables the
+	// ceiling.
+	MaxTTL time.Duration
 	// Indexed selects the hash-indexed per-question lookup structure
 	// instead of the default linear scan: O(distinct scopes) lookups at
 	// the cost of slot bookkeeping. Semantics are identical; see the
 	// ablation benchmarks.
 	Indexed bool
+	// Shards is the number of independently locked storage shards the
+	// key space is hashed across (rounded up to a power of two). 0 and
+	// 1 both mean a single shard — the original single-mutex cache.
+	Shards int
+	// MaxEntries bounds the number of resident entries across all
+	// shards; the bound is split evenly per shard (each shard keeps at
+	// least one slot, so the effective total is
+	// max(MaxEntries, Shards)). Zero means unbounded. When bounded,
+	// least-recently-used entries are evicted in O(1).
+	MaxEntries int
 }
 
 // Cache is a scope-aware DNS cache. It is safe for concurrent use.
 type Cache struct {
-	cfg Config
-
-	mu      sync.Mutex
-	entries map[Key][]*Entry
-	indexes map[Key]*keyIndex
-	live    int
-	high    int
-	hits    int64
-	misses  int64
+	cfg    Config
+	shards []*shard
+	mask   uint64
+	stats  cacheCounters
+	flight flightGroup
 }
 
 // New creates a cache with the given configuration.
@@ -112,25 +150,79 @@ func New(cfg Config) *Cache {
 	if cfg.NegativeTTL == 0 {
 		cfg.NegativeTTL = 30 * time.Second
 	}
-	return &Cache{
-		cfg:     cfg,
-		entries: make(map[Key][]*Entry),
-		indexes: make(map[Key]*keyIndex),
+	n := shardCount(cfg.Shards)
+	c := &Cache{
+		cfg:    cfg,
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
 	}
+	for i := range c.shards {
+		c.shards[i] = newShard(c, shardCapacity(cfg.MaxEntries, n, i))
+	}
+	c.flight.init()
+	return c
 }
 
-// effectiveScope returns the number of bits the cache indexes and matches
-// an entry's subnet at.
-func (c *Cache) effectiveScope(e *Entry) uint8 {
+// shardCount rounds the configured shard count up to a power of two so
+// shard selection is a mask, not a modulo.
+func shardCount(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardCapacity splits a global entry bound across n shards: every
+// shard gets the floor share, the first remainder shards one more, and
+// a bounded cache never hands a shard zero slots.
+func shardCapacity(max, n, i int) int {
+	if max <= 0 {
+		return 0
+	}
+	cap := max / n
+	if i < max%n {
+		cap++
+	}
+	if cap == 0 {
+		cap = 1
+	}
+	return cap
+}
+
+// shardFor hashes key to its shard (FNV-1a over name, type and class).
+func (c *Cache) shardFor(key Key) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.Name); i++ {
+		h ^= uint64(key.Name[i])
+		h *= prime64
+	}
+	h ^= uint64(key.Type)
+	h *= prime64
+	h ^= uint64(key.Class)
+	h *= prime64
+	return c.shards[h&c.mask]
+}
+
+// effectiveScope returns the number of bits the cache indexes and
+// matches an entry's subnet at.
+func effectiveScope(cfg *Config, e *Entry) uint8 {
 	if !e.HasECS {
 		return 0
 	}
 	scope := e.Subnet.ScopePrefix
-	if c.cfg.ClampScopeToSource {
+	if cfg.ClampScopeToSource {
 		scope = ecsopt.ClampScope(e.Subnet.SourcePrefix, scope)
 	}
-	if c.cfg.Mode == CapScope && scope > c.cfg.CapBits {
-		scope = c.cfg.CapBits
+	if cfg.Mode == CapScope && scope > cfg.CapBits {
+		scope = cfg.CapBits
 	}
 	return scope
 }
@@ -138,38 +230,17 @@ func (c *Cache) effectiveScope(e *Entry) uint8 {
 // Lookup finds a live entry for key usable by client. Under HonorScope,
 // ties between multiple covering entries go to the longest scope (most
 // specific). The bool reports a hit; hit/miss counters are updated.
+//
+//ecsinvariant:handler cacheCounters
 func (c *Cache) Lookup(key Key, client netip.Addr, now time.Time) (*Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.cfg.Indexed {
-		return c.lookupIndexed(key, client, now)
-	}
-	var best *Entry
-	bestScope := -1
-	for _, e := range c.entries[key] {
-		if !e.Expiry.After(now) {
-			continue
-		}
-		switch c.cfg.Mode {
-		case IgnoreScope:
-			// Any live entry will do; first wins.
-			c.hits++
-			return e, true
-		default:
-			scope := int(c.effectiveScope(e))
-			if !e.HasECS || e.Subnet.Covers(client, scope) {
-				if scope > bestScope {
-					best, bestScope = e, scope
-				}
-			}
-		}
-	}
-	if best == nil {
-		c.misses++
+	c.stats.lookups.Add(1)
+	e := c.shardFor(key).lookup(key, client, now)
+	if e == nil {
+		c.stats.misses.Add(1)
 		return nil, false
 	}
-	c.hits++
-	return best, true
+	c.stats.hits.Add(1)
+	return e, true
 }
 
 // LookupStale finds the best expired-but-recent entry for key usable by
@@ -177,83 +248,61 @@ func (c *Cache) Lookup(key Key, client netip.Addr, now time.Time) (*Entry, bool)
 // past, honoring the cache's scope mode. It backs RFC 8767-style stale
 // serving when every upstream retry has failed, so only entries Lookup
 // would have declined solely for being expired qualify. The freshest
-// (latest-expiring) covering entry wins. Hit/miss counters are not
-// touched: a stale answer is a degraded miss, not a hit.
+// (latest-expiring) covering entry wins. Hit/miss counters (and LRU
+// recency) are not touched: a stale answer is a degraded miss, not a
+// hit.
 func (c *Cache) LookupStale(key Key, client netip.Addr, now time.Time, maxStale time.Duration) (*Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var best *Entry
-	consider := func(e *Entry) {
-		if e == nil || e.Expiry.After(now) || !e.Expiry.Add(maxStale).After(now) {
-			return
-		}
-		if e.RCode != dnswire.RCodeNoError || len(e.Answer) == 0 {
-			return // only stale-but-valid positive answers are servable
-		}
-		if c.cfg.Mode != IgnoreScope && e.HasECS &&
-			!e.Subnet.Covers(client, int(c.effectiveScope(e))) {
-			return
-		}
-		if best == nil || e.Expiry.After(best.Expiry) {
-			best = e
-		}
-	}
-	if c.cfg.Indexed {
-		if ix := c.indexes[key]; ix != nil {
-			consider(ix.shared)
-			for _, e := range ix.byPrefix {
-				consider(e)
-			}
-		}
-	} else {
-		for _, e := range c.entries[key] {
-			consider(e)
-		}
-	}
-	return best, best != nil
+	e := c.shardFor(key).lookupStale(key, client, now, maxStale)
+	return e, e != nil
 }
 
 // Insert stores an entry for key, replacing any entry indexed under the
 // same effective prefix. Expired entries for the key are collected in
-// passing.
+// passing, and when the cache is over its capacity bound the
+// least-recently-used resident entries are evicted.
+//
+// Entries claiming ECS whose address cannot produce a prefix at the
+// effective scope (invalid address, or a scope wider than the address
+// family holds) are rejected outright: the linear scan used to keep
+// them as never-matching dead weight while the hash index demoted them
+// to the shared slot and served them to every client — both wrong, and
+// divergently so.
 func (c *Cache) Insert(key Key, e Entry, now time.Time) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	stored := e // copy; cache owns its entries
 	stored.Stored = now
-	scope := c.effectiveScope(&stored)
-	if c.cfg.Indexed {
-		c.insertIndexed(key, &stored, scope, now)
-		return
+	stored.lruPrev, stored.lruNext = nil, nil
+	stored.lruKey = key
+	c.clampTTL(&stored, now)
+	scope := effectiveScope(&c.cfg, &stored)
+	if stored.HasECS {
+		if _, ok := slotOf(&stored, scope); !ok {
+			c.stats.rejected.Add(1)
+			return
+		}
 	}
+	c.shardFor(key).insert(key, &stored, scope, now)
+}
 
-	list := c.entries[key]
-	out := list[:0]
-	replaced := false
-	for _, old := range list {
-		if !old.Expiry.After(now) {
-			c.live--
-			continue
-		}
-		if c.cfg.Mode == IgnoreScope {
-			// Single entry per key: the newcomer replaces it.
-			c.live--
-			continue
-		}
-		if sameIndexSlot(c.effectiveScope(old), old, scope, &stored) {
-			c.live--
-			replaced = true
-			continue
-		}
-		out = append(out, old)
+// clampTTL applies the insert-time lifetime rules: the MaxTTL ceiling
+// and MinTTL floor for live positive answers, then the NegativeTTL
+// bound for non-NoError answers (NXDOMAIN and friends), which caps
+// whatever the response's SOA-derived lifetime asked for.
+func (c *Cache) clampTTL(e *Entry, now time.Time) {
+	ttl := e.Expiry.Sub(now)
+	if ttl <= 0 {
+		return // dead on arrival stays dead
 	}
-	_ = replaced
-	out = append(out, &stored)
-	c.live++
-	if c.live > c.high {
-		c.high = c.live
+	if c.cfg.MaxTTL > 0 && ttl > c.cfg.MaxTTL {
+		ttl = c.cfg.MaxTTL
 	}
-	c.entries[key] = out
+	if e.RCode == dnswire.RCodeNoError {
+		if c.cfg.MinTTL > 0 && ttl < c.cfg.MinTTL {
+			ttl = c.cfg.MinTTL
+		}
+	} else if c.cfg.NegativeTTL > 0 && ttl > c.cfg.NegativeTTL {
+		ttl = c.cfg.NegativeTTL
+	}
+	e.Expiry = now.Add(ttl)
 }
 
 // sameIndexSlot reports whether two entries occupy the same cache slot:
@@ -291,22 +340,9 @@ func TTLBound(now time.Time, rrs []dnswire.RR, fallback time.Duration) time.Time
 // Len returns the number of live entries at `now` (expired entries still
 // resident are not counted).
 func (c *Cache) Len(now time.Time) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.cfg.Indexed {
-		n := 0
-		for _, ix := range c.indexes {
-			n += ix.live(now)
-		}
-		return n
-	}
 	n := 0
-	for _, list := range c.entries {
-		for _, e := range list {
-			if e.Expiry.After(now) {
-				n++
-			}
-		}
+	for _, sh := range c.shards {
+		n += sh.len(now)
 	}
 	return n
 }
@@ -314,125 +350,23 @@ func (c *Cache) Len(now time.Time) int {
 // HighWater returns the maximum live-entry count ever reached. This is
 // the "cache size" the paper's blow-up factor compares.
 func (c *Cache) HighWater() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.high
-}
-
-// Stats returns cumulative hit and miss counts.
-func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return int(c.stats.high.Load())
 }
 
 // PurgeExpired drops entries dead at `now` and returns how many were
 // removed.
 func (c *Cache) PurgeExpired(now time.Time) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.cfg.Indexed {
-		removed := 0
-		for key, ix := range c.indexes {
-			r := ix.purge(now)
-			removed += r
-			c.live -= r
-			if ix.live(now) == 0 {
-				delete(c.indexes, key)
-			}
-		}
-		return removed
-	}
 	removed := 0
-	for key, list := range c.entries {
-		out := list[:0]
-		for _, e := range list {
-			if e.Expiry.After(now) {
-				out = append(out, e)
-			} else {
-				removed++
-				c.live--
-			}
-		}
-		if len(out) == 0 {
-			delete(c.entries, key)
-		} else {
-			c.entries[key] = out
-		}
+	for _, sh := range c.shards {
+		removed += sh.purgeExpired(now)
 	}
 	return removed
 }
 
-// Flush empties the cache without resetting the high-water mark or
-// hit/miss counters.
+// Flush empties the cache without resetting the high-water mark or the
+// cumulative counters.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[Key][]*Entry)
-	c.indexes = make(map[Key]*keyIndex)
-	c.live = 0
-}
-
-// lookupIndexed serves Lookup from the hash index. Callers hold the
-// lock.
-func (c *Cache) lookupIndexed(key Key, client netip.Addr, now time.Time) (*Entry, bool) {
-	ix := c.indexes[key]
-	if ix == nil {
-		c.misses++
-		return nil, false
-	}
-	if c.cfg.Mode == IgnoreScope {
-		if ix.shared != nil && ix.shared.Expiry.After(now) {
-			c.hits++
-			return ix.shared, true
-		}
-		c.misses++
-		return nil, false
-	}
-	if e, ok := ix.lookup(client, now); ok {
-		c.hits++
-		return e, true
-	}
-	c.misses++
-	return nil, false
-}
-
-// insertIndexed serves Insert on the hash index. Callers hold the lock.
-func (c *Cache) insertIndexed(key Key, stored *Entry, scope uint8, now time.Time) {
-	ix := c.indexes[key]
-	if ix == nil {
-		ix = newKeyIndex()
-		c.indexes[key] = ix
-	}
-	// Collect this key's expired slots first, mirroring the linear
-	// path's per-insert cleanup, so live accounting is exact.
-	c.live -= ix.purge(now)
-
-	asShared := c.cfg.Mode == IgnoreScope || !stored.HasECS
-	if !asShared {
-		if _, ok := slotOf(stored, scope); !ok {
-			asShared = true
-		}
-	}
-	if asShared {
-		if ix.shared == nil {
-			c.live++
-		}
-		if c.cfg.Mode == IgnoreScope {
-			// Single entry per key: the newcomer owns the slot and any
-			// prefix entries are gone (they never exist in this mode).
-			ix.shared = stored
-		} else {
-			ix.shared = stored
-		}
-	} else {
-		slot, _ := slotOf(stored, scope)
-		if _, exists := ix.byPrefix[slot]; !exists {
-			c.live++
-		}
-		ix.insert(stored, scope)
-	}
-	if c.live > c.high {
-		c.high = c.live
+	for _, sh := range c.shards {
+		sh.flush()
 	}
 }

@@ -194,9 +194,12 @@ func TestStatsCount(t *testing.T) {
 	c.Lookup(keyA, addr("203.0.113.1"), t0.Add(time.Second))   // hit
 	c.Lookup(keyA, addr("198.51.100.1"), t0.Add(time.Second))  // miss
 	c.Lookup(keyA, addr("203.0.113.2"), t0.Add(2*time.Minute)) // expired: miss
-	h, m := c.Stats()
-	if h != 1 || m != 2 {
-		t.Fatalf("Stats = %d/%d, want 1/2", h, m)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("Stats = %d/%d, want 1/2", st.Hits, st.Misses)
+	}
+	if !st.Balanced() || st.Lookups != 3 {
+		t.Fatalf("lookup partition broken: %+v", st)
 	}
 }
 

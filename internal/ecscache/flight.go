@@ -1,0 +1,72 @@
+package ecscache
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent upstream fetches for the same
+// (question, ECS prefix): the paper's §7 shows ECS multiplies the
+// distinct answers a resolver must fetch, so a popular name under a
+// thundering herd would otherwise fan every per-prefix miss out to the
+// authority once per waiting client. The first caller for a key becomes
+// the leader and runs the fetch; everyone else blocks on the leader's
+// done channel and shares the result.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[flightKey]*flightCall
+}
+
+// flightKey scopes deduplication: clients behind different ECS prefixes
+// legitimately need different upstream answers and must not coalesce.
+type flightKey struct {
+	key    Key
+	prefix netip.Prefix
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func (g *flightGroup) init() {
+	g.calls = make(map[flightKey]*flightCall)
+}
+
+// errFlightAbandoned surfaces to waiters when the leader's fetch
+// panicked before producing a result.
+var errFlightAbandoned = errors.New("ecscache: in-flight fetch abandoned")
+
+// Do executes fetch once per concurrently in-flight (key, prefix) pair.
+// The first caller runs fetch (outside every cache lock); concurrent
+// duplicates block until it finishes and receive the same value and
+// error with shared=true, counting one Coalesced each. Sequential calls
+// never coalesce — a completed flight leaves no state behind, so this
+// deduplicates herds, not time.
+func (c *Cache) Do(key Key, prefix netip.Prefix, fetch func() (any, error)) (val any, shared bool, err error) {
+	fk := flightKey{key: key, prefix: prefix}
+	g := &c.flight
+	g.mu.Lock()
+	if call, ok := g.calls[fk]; ok {
+		c.stats.coalesced.Add(1)
+		g.mu.Unlock()
+		<-call.done
+		return call.val, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{}), err: errFlightAbandoned}
+	g.calls[fk] = call
+	g.mu.Unlock()
+
+	// Leader: even a panicking fetch must release the waiters (they see
+	// errFlightAbandoned) and clear the slot, or the herd hangs forever.
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, fk)
+		g.mu.Unlock()
+		close(call.done)
+	}()
+	call.val, call.err = fetch()
+	return call.val, false, call.err
+}

@@ -2,7 +2,6 @@ package ecscache
 
 import (
 	"net/netip"
-	"sort"
 	"time"
 )
 
@@ -30,6 +29,9 @@ func newKeyIndex() *keyIndex {
 }
 
 // slotOf computes the index slot of an entry at its effective scope.
+// ok=false marks an entry whose claimed subnet cannot be indexed at all
+// (invalid address or a scope beyond the family's bit length); Insert
+// rejects those before they reach storage.
 func slotOf(e *Entry, scope uint8) (netip.Prefix, bool) {
 	if !e.HasECS || !e.Subnet.Addr.IsValid() {
 		return netip.Prefix{}, false
@@ -41,13 +43,11 @@ func slotOf(e *Entry, scope uint8) (netip.Prefix, bool) {
 	return p, true
 }
 
-// insert stores e at scope, replacing the slot's previous occupant.
+// insert stores e at scope, replacing the slot's previous occupant. The
+// caller (Cache.Insert) has already rejected entries with no valid
+// slot, so the slot computation cannot fail here.
 func (ix *keyIndex) insert(e *Entry, scope uint8) {
-	slot, ok := slotOf(e, scope)
-	if !ok {
-		ix.shared = e
-		return
-	}
+	slot, _ := slotOf(e, scope)
 	if _, exists := ix.byPrefix[slot]; !exists {
 		scopes := &ix.scopesV4
 		if e.Subnet.Addr.Is6() && !e.Subnet.Addr.Is4In6() {
@@ -58,14 +58,33 @@ func (ix *keyIndex) insert(e *Entry, scope uint8) {
 	ix.byPrefix[slot] = e
 }
 
+// insertScope splices s into the descending distinct-scope list in
+// place — O(n) shift, no re-sort (the list is a handful of elements,
+// but the old sort-on-every-insert was O(n log n) per cache write).
 func insertScope(scopes *[]int, s int) {
-	for _, have := range *scopes {
+	at := len(*scopes)
+	for i, have := range *scopes {
 		if have == s {
 			return
 		}
+		if have < s {
+			at = i
+			break
+		}
 	}
-	*scopes = append(*scopes, s)
-	sort.Sort(sort.Reverse(sort.IntSlice(*scopes)))
+	*scopes = append(*scopes, 0)
+	copy((*scopes)[at+1:], (*scopes)[at:])
+	(*scopes)[at] = s
+}
+
+// dropScope removes s from the distinct-scope list.
+func dropScope(scopes *[]int, s int) {
+	for i, have := range *scopes {
+		if have == s {
+			*scopes = append((*scopes)[:i], (*scopes)[i+1:]...)
+			return
+		}
+	}
 }
 
 // lookup finds the live entry with the longest scope covering client.
@@ -92,18 +111,59 @@ func (ix *keyIndex) lookup(client netip.Addr, now time.Time) (*Entry, bool) {
 	return nil, false
 }
 
-// purge drops entries expired at now and returns how many were removed.
-func (ix *keyIndex) purge(now time.Time) int {
-	removed := 0
+// remove detaches one entry (by identity) from the index, maintaining
+// the scope lists when its slot was the last at that scope.
+func (ix *keyIndex) remove(e *Entry, scope uint8) {
+	if ix.shared == e {
+		ix.shared = nil
+		return
+	}
+	slot, ok := slotOf(e, scope)
+	if !ok || ix.byPrefix[slot] != e {
+		return
+	}
+	delete(ix.byPrefix, slot)
+	ix.dropSlotScope(slot)
+}
+
+// dropSlotScope removes slot's scope from the family list when no other
+// slot of that family shares it.
+func (ix *keyIndex) dropSlotScope(slot netip.Prefix) {
+	for other := range ix.byPrefix {
+		if other.Bits() == slot.Bits() && other.Addr().Is4() == slot.Addr().Is4() {
+			return
+		}
+	}
+	if slot.Addr().Is4() {
+		dropScope(&ix.scopesV4, slot.Bits())
+	} else {
+		dropScope(&ix.scopesV6, slot.Bits())
+	}
+}
+
+// empty reports whether the index holds no entries at all.
+func (ix *keyIndex) empty() bool {
+	return ix.shared == nil && len(ix.byPrefix) == 0
+}
+
+// purge drops entries expired at now, invoking onRemove for each so the
+// owning shard can keep its accounting and recency list exact.
+func (ix *keyIndex) purge(now time.Time, onRemove func(*Entry)) {
+	changed := false
 	for slot, e := range ix.byPrefix {
 		if !e.Expiry.After(now) {
 			delete(ix.byPrefix, slot)
-			removed++
+			changed = true
+			onRemove(e)
 		}
 	}
 	if ix.shared != nil && !ix.shared.Expiry.After(now) {
+		e := ix.shared
 		ix.shared = nil
-		removed++
+		onRemove(e)
+	}
+	if !changed {
+		return
 	}
 	// Rebuild scope lists from survivors (purge is rare; rebuild is
 	// simpler than refcounting).
@@ -116,7 +176,6 @@ func (ix *keyIndex) purge(now time.Time) int {
 			insertScope(&ix.scopesV6, slot.Bits())
 		}
 	}
-	return removed
 }
 
 // live counts unexpired entries.

@@ -1,0 +1,186 @@
+package ecscache
+
+import (
+	"testing"
+	"time"
+
+	"ecsdns/internal/dnswire"
+	"ecsdns/internal/ecsopt"
+)
+
+// negEntry builds a negative (NXDOMAIN) entry with the given lifetime.
+func negEntry(ttl time.Duration) Entry {
+	return Entry{
+		RCode: dnswire.RCodeNXDomain,
+		Authority: []dnswire.RR{{
+			Name: "example.com.", Class: dnswire.ClassINET, TTL: uint32(ttl / time.Second),
+			Data: dnswire.SOARData{MName: "ns.example.com.", Minimum: uint32(ttl / time.Second)},
+		}},
+		Expiry: t0.Add(ttl),
+	}
+}
+
+// Regression: Config.NegativeTTL existed but was never consulted, so a
+// negative answer claiming an hour of life was cached for the full hour.
+// The cap must bound non-NoError entries at insert.
+func TestNegativeTTLCapsNegativeEntries(t *testing.T) {
+	c := New(Config{Mode: HonorScope, NegativeTTL: 5 * time.Second})
+	c.Insert(keyA, negEntry(time.Hour), t0)
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(4*time.Second)); !ok {
+		t.Fatal("negative entry must live inside the NegativeTTL window")
+	}
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(6*time.Second)); ok {
+		t.Fatal("negative entry outlived NegativeTTL")
+	}
+}
+
+func TestNegativeTTLDefaultThirtySeconds(t *testing.T) {
+	c := New(Config{Mode: HonorScope})
+	c.Insert(keyA, negEntry(time.Hour), t0)
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(29*time.Second)); !ok {
+		t.Fatal("negative entry must live to the default 30s cap")
+	}
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(31*time.Second)); ok {
+		t.Fatal("negative entry outlived the default cap")
+	}
+}
+
+// The cap must never shorten positive answers: cachesim's §7 replays
+// insert NoError entries whose lifetimes are the experiment's subject.
+func TestNegativeTTLLeavesPositiveEntriesAlone(t *testing.T) {
+	c := New(Config{Mode: HonorScope, NegativeTTL: 5 * time.Second})
+	c.Insert(keyA, ecsEntry("203.0.113.0", 24, 24, time.Hour), t0)
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(30*time.Minute)); !ok {
+		t.Fatal("NegativeTTL must not cap NoError entries")
+	}
+}
+
+// A sub-NegativeTTL negative answer keeps its own (shorter) lifetime.
+func TestNegativeTTLIsACeilingNotAFloor(t *testing.T) {
+	c := New(Config{Mode: HonorScope, NegativeTTL: time.Minute})
+	c.Insert(keyA, negEntry(2*time.Second), t0)
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(3*time.Second)); ok {
+		t.Fatal("short negative entry must keep its own expiry")
+	}
+}
+
+func TestMaxTTLCapsEveryEntry(t *testing.T) {
+	c := New(Config{Mode: HonorScope, MaxTTL: time.Minute})
+	c.Insert(keyA, ecsEntry("203.0.113.0", 24, 24, time.Hour), t0)
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(59*time.Second)); !ok {
+		t.Fatal("entry must live to the MaxTTL cap")
+	}
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(61*time.Second)); ok {
+		t.Fatal("entry outlived MaxTTL")
+	}
+}
+
+func TestMinTTLFloorsPositiveOnly(t *testing.T) {
+	c := New(Config{Mode: HonorScope, MinTTL: 10 * time.Second})
+	c.Insert(keyA, ecsEntry("203.0.113.0", 24, 24, time.Second), t0)
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(9*time.Second)); !ok {
+		t.Fatal("MinTTL must raise a 1s positive answer to the floor")
+	}
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(10*time.Second)); ok {
+		t.Fatal("floored entry must still die at the floor")
+	}
+	// Negative answers are not floored — RFC 2308 wants them short.
+	c2 := New(Config{Mode: HonorScope, MinTTL: 10 * time.Second})
+	c2.Insert(keyA, negEntry(time.Second), t0)
+	if _, ok := c2.Lookup(keyA, addr("203.0.113.1"), t0.Add(5*time.Second)); ok {
+		t.Fatal("MinTTL must not stretch negative answers")
+	}
+}
+
+// Dead-on-arrival entries stay dead: the MinTTL floor must not revive
+// an entry whose expiry already passed.
+func TestMinTTLDoesNotReviveExpired(t *testing.T) {
+	c := New(Config{Mode: HonorScope, MinTTL: 10 * time.Second})
+	e := ecsEntry("203.0.113.0", 24, 24, time.Minute)
+	c.Insert(keyA, e, t0.Add(2*time.Minute)) // inserted after its own expiry
+	if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(2*time.Minute+time.Second)); ok {
+		t.Fatal("dead-on-arrival entry revived by MinTTL")
+	}
+}
+
+// Regression: entries claiming ECS but carrying a subnet that cannot
+// produce a prefix at the effective scope were stored anyway. The
+// linear scan kept them as dead weight that matched no one; the hash
+// index demoted them to the shared slot and served them to EVERY
+// client — two different wrong answers. Both paths must now reject the
+// insert outright, identically.
+func TestInvalidECSRejectedBothPaths(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"linear", Config{Mode: HonorScope}},
+		{"indexed", Config{Mode: HonorScope, Indexed: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			c := New(mode.cfg)
+
+			// An invalid address (the zero ClientSubnet) with HasECS set —
+			// exactly what a resolver builds when buildSubnet fails but the
+			// sent-ECS flag is already up.
+			c.Insert(keyA, Entry{
+				Subnet: ecsopt.Zero(), HasECS: true,
+				Answer: []dnswire.RR{{Name: "www.example.com.", Class: dnswire.ClassINET, TTL: 60,
+					Data: dnswire.ARData{Addr: addr("192.0.2.1")}}},
+				Expiry: t0.Add(time.Minute),
+			}, t0)
+			for _, client := range []string{"8.8.8.8", "203.0.113.1", "2001:db8::1"} {
+				if _, ok := c.Lookup(keyA, addr(client), t0.Add(time.Second)); ok {
+					t.Fatalf("invalid-subnet entry served to %s", client)
+				}
+			}
+
+			// A scope beyond the address family's bit length (scope /40 on
+			// an IPv4 subnet) — unprefixable no matter the client.
+			over := ecsEntry("203.0.113.0", 24, 24, time.Minute)
+			over.Subnet.ScopePrefix = 40
+			c.Insert(keyA, over, t0)
+			if _, ok := c.Lookup(keyA, addr("203.0.113.1"), t0.Add(time.Second)); ok {
+				t.Fatal("over-scope entry served")
+			}
+
+			if got := c.Len(t0.Add(time.Second)); got != 0 {
+				t.Fatalf("rejected entries left %d residents", got)
+			}
+			st := c.Stats()
+			if st.Rejected != 2 {
+				t.Fatalf("Rejected = %d, want 2", st.Rejected)
+			}
+			if st.HighWater != 0 {
+				t.Fatalf("rejected entries moved the high-water mark: %d", st.HighWater)
+			}
+		})
+	}
+}
+
+// Regression: RemainingTTL truncated, so an entry with up to 999ms of
+// life advertised TTL 0 — which downstream caches treat as
+// uncacheable. Any live entry must advertise at least 1.
+func TestRemainingTTLRoundsUp(t *testing.T) {
+	cases := []struct {
+		left time.Duration
+		want uint32
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Millisecond, 1},
+		{500 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{20 * time.Second, 20},
+	}
+	for _, tc := range cases {
+		e := Entry{Expiry: t0.Add(tc.left)}
+		if got := e.RemainingTTL(t0); got != tc.want {
+			t.Errorf("RemainingTTL with %v left = %d, want %d", tc.left, got, tc.want)
+		}
+	}
+}

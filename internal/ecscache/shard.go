@@ -1,0 +1,399 @@
+package ecscache
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"ecsdns/internal/dnswire"
+)
+
+// shard is one independently locked partition of the key space. It
+// holds the same two interchangeable per-question structures the
+// original single-mutex cache offered — the linear covering scan and
+// the hash index — plus the intrusive recency list that backs LRU
+// eviction when the shard is capacity-bounded.
+type shard struct {
+	owner *Cache
+
+	mu      sync.RWMutex
+	entries map[Key][]*Entry
+	indexes map[Key]*keyIndex
+	// size counts resident entries (live plus expired-but-uncollected),
+	// mirroring the accounting the owner's live counter aggregates.
+	size int
+	// capacity bounds size; 0 means unbounded and the lru list is not
+	// maintained at all.
+	capacity int
+	lru      lruList
+}
+
+func newShard(owner *Cache, capacity int) *shard {
+	sh := &shard{
+		owner:    owner,
+		entries:  make(map[Key][]*Entry),
+		indexes:  make(map[Key]*keyIndex),
+		capacity: capacity,
+	}
+	sh.lru.init()
+	return sh
+}
+
+// bounded reports whether this shard enforces a capacity (and therefore
+// maintains recency order).
+func (sh *shard) bounded() bool { return sh.capacity > 0 }
+
+// lookup finds a live entry usable by client, returning nil on a miss.
+// Bounded shards take the write lock so a hit can be spliced to the
+// front of the recency list; unbounded shards serve lookups under the
+// read lock and scale with readers.
+func (sh *shard) lookup(key Key, client netip.Addr, now time.Time) *Entry {
+	if sh.bounded() {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	} else {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+	}
+	e := sh.find(key, client, now)
+	if e != nil && sh.bounded() {
+		sh.lru.moveFront(e)
+	}
+	return e
+}
+
+// find locates the best live entry for (key, client) under the owner's
+// scope mode. Callers hold the shard lock.
+func (sh *shard) find(key Key, client netip.Addr, now time.Time) *Entry {
+	cfg := &sh.owner.cfg
+	if cfg.Indexed {
+		ix := sh.indexes[key]
+		if ix == nil {
+			return nil
+		}
+		if cfg.Mode == IgnoreScope {
+			if ix.shared != nil && ix.shared.Expiry.After(now) {
+				return ix.shared
+			}
+			return nil
+		}
+		if e, ok := ix.lookup(client, now); ok {
+			return e
+		}
+		return nil
+	}
+	var best *Entry
+	bestScope := -1
+	for _, e := range sh.entries[key] {
+		if !e.Expiry.After(now) {
+			continue
+		}
+		if cfg.Mode == IgnoreScope {
+			// Any live entry will do; first wins.
+			return e
+		}
+		scope := int(effectiveScope(cfg, e))
+		if !e.HasECS || e.Subnet.Covers(client, scope) {
+			if scope > bestScope {
+				best, bestScope = e, scope
+			}
+		}
+	}
+	return best
+}
+
+// lookupStale finds the freshest expired-but-recent positive entry
+// usable by client (see Cache.LookupStale). Read lock only: stale
+// serving is a degraded miss and does not touch recency.
+func (sh *shard) lookupStale(key Key, client netip.Addr, now time.Time, maxStale time.Duration) *Entry {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	cfg := &sh.owner.cfg
+	var best *Entry
+	consider := func(e *Entry) {
+		if e == nil || e.Expiry.After(now) || !e.Expiry.Add(maxStale).After(now) {
+			return
+		}
+		if e.RCode != dnswire.RCodeNoError || len(e.Answer) == 0 {
+			return // only stale-but-valid positive answers are servable
+		}
+		if cfg.Mode != IgnoreScope && e.HasECS &&
+			!e.Subnet.Covers(client, int(effectiveScope(cfg, e))) {
+			return
+		}
+		if best == nil || e.Expiry.After(best.Expiry) {
+			best = e
+		}
+	}
+	if cfg.Indexed {
+		if ix := sh.indexes[key]; ix != nil {
+			consider(ix.shared)
+			for _, e := range ix.byPrefix {
+				consider(e)
+			}
+		}
+	} else {
+		for _, e := range sh.entries[key] {
+			consider(e)
+		}
+	}
+	return best
+}
+
+// insert stores one entry, collecting the key's expired slots in
+// passing and evicting over-capacity residents from the LRU tail.
+func (sh *shard) insert(key Key, stored *Entry, scope uint8, now time.Time) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.owner.cfg.Indexed {
+		sh.insertIndexed(key, stored, scope, now)
+	} else {
+		sh.insertLinear(key, stored, scope, now)
+	}
+	if sh.bounded() {
+		sh.lru.pushFront(stored)
+		sh.evictOver(now)
+	}
+}
+
+// insertLinear is the linear-scan storage path.
+func (sh *shard) insertLinear(key Key, stored *Entry, scope uint8, now time.Time) {
+	cfg := &sh.owner.cfg
+	list := sh.entries[key]
+	out := list[:0]
+	for _, old := range list {
+		switch {
+		case !old.Expiry.After(now):
+			sh.drop(old, expiredRemoval)
+		case cfg.Mode == IgnoreScope:
+			// Single entry per key: the newcomer replaces it.
+			sh.drop(old, replacedRemoval)
+		case sameIndexSlot(effectiveScope(cfg, old), old, scope, stored):
+			sh.drop(old, replacedRemoval)
+		default:
+			out = append(out, old)
+		}
+	}
+	out = append(out, stored)
+	sh.entries[key] = out
+	sh.add()
+}
+
+// insertIndexed is the hash-index storage path.
+func (sh *shard) insertIndexed(key Key, stored *Entry, scope uint8, now time.Time) {
+	ix := sh.indexes[key]
+	if ix == nil {
+		ix = newKeyIndex()
+		sh.indexes[key] = ix
+	}
+	// Collect this key's expired slots first, mirroring the linear
+	// path's per-insert cleanup, so live accounting is exact.
+	ix.purge(now, func(e *Entry) { sh.drop(e, expiredRemoval) })
+
+	if sh.owner.cfg.Mode == IgnoreScope || !stored.HasECS {
+		// Single shared slot per key in these shapes; the newcomer
+		// replaces any previous occupant.
+		if ix.shared != nil {
+			sh.drop(ix.shared, replacedRemoval)
+		}
+		ix.shared = stored
+	} else {
+		slot, _ := slotOf(stored, scope) // Insert rejected unprefixable entries
+		if old := ix.byPrefix[slot]; old != nil {
+			sh.drop(old, replacedRemoval)
+		}
+		ix.insert(stored, scope)
+	}
+	sh.add()
+}
+
+// removalKind classifies why an entry leaves the shard, driving the
+// expiry/eviction counter split.
+type removalKind int
+
+const (
+	expiredRemoval  removalKind = iota // dead when collected
+	replacedRemoval                    // displaced by a same-slot insert
+	evictedRemoval                     // capacity pressure (premature if live)
+)
+
+// add accounts one resident entry arriving.
+func (sh *shard) add() {
+	sh.size++
+	sh.owner.addLive(1)
+}
+
+// drop accounts one resident entry leaving (storage removal itself is
+// the caller's business, except for the recency list, handled here).
+func (sh *shard) drop(e *Entry, kind removalKind) {
+	sh.size--
+	sh.owner.addLive(-1)
+	if sh.bounded() {
+		sh.lru.remove(e)
+	}
+	switch kind {
+	case expiredRemoval:
+		sh.owner.stats.expiries.Add(1)
+	case evictedRemoval:
+		sh.owner.stats.evictions.Add(1)
+	}
+}
+
+// evictOver removes LRU-tail entries until the shard is back under
+// capacity. Victims that already expired count as expiries, live
+// victims as premature evictions — the distinction §7's operator-cost
+// argument (and cachesim.BoundedReplay) turns on.
+func (sh *shard) evictOver(now time.Time) {
+	for sh.size > sh.capacity {
+		victim := sh.lru.tail()
+		if victim == nil {
+			return
+		}
+		sh.removeFromStorage(victim)
+		if victim.Expiry.After(now) {
+			sh.drop(victim, evictedRemoval)
+		} else {
+			sh.drop(victim, expiredRemoval)
+		}
+	}
+}
+
+// removeFromStorage detaches an entry from whichever per-question
+// structure holds it (the recency list is handled by drop).
+func (sh *shard) removeFromStorage(victim *Entry) {
+	key := victim.lruKey
+	if sh.owner.cfg.Indexed {
+		if ix := sh.indexes[key]; ix != nil {
+			ix.remove(victim, effectiveScope(&sh.owner.cfg, victim))
+			if ix.empty() {
+				delete(sh.indexes, key)
+			}
+		}
+		return
+	}
+	list := sh.entries[key]
+	out := list[:0]
+	for _, e := range list {
+		if e != victim {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		delete(sh.entries, key)
+	} else {
+		sh.entries[key] = out
+	}
+}
+
+// len counts live entries at now.
+func (sh *shard) len(now time.Time) int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	n := 0
+	if sh.owner.cfg.Indexed {
+		for _, ix := range sh.indexes {
+			n += ix.live(now)
+		}
+		return n
+	}
+	for _, list := range sh.entries {
+		for _, e := range list {
+			if e.Expiry.After(now) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// purgeExpired drops entries dead at now and returns how many were
+// removed.
+func (sh *shard) purgeExpired(now time.Time) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	removed := 0
+	if sh.owner.cfg.Indexed {
+		for key, ix := range sh.indexes {
+			ix.purge(now, func(e *Entry) {
+				sh.drop(e, expiredRemoval)
+				removed++
+			})
+			if ix.empty() {
+				delete(sh.indexes, key)
+			}
+		}
+		return removed
+	}
+	for key, list := range sh.entries {
+		out := list[:0]
+		for _, e := range list {
+			if e.Expiry.After(now) {
+				out = append(out, e)
+			} else {
+				sh.drop(e, expiredRemoval)
+				removed++
+			}
+		}
+		if len(out) == 0 {
+			delete(sh.entries, key)
+		} else {
+			sh.entries[key] = out
+		}
+	}
+	return removed
+}
+
+// flush empties the shard.
+func (sh *shard) flush() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.owner.addLive(-sh.size)
+	sh.size = 0
+	sh.entries = make(map[Key][]*Entry)
+	sh.indexes = make(map[Key]*keyIndex)
+	sh.lru.init()
+}
+
+// lruList is the intrusive recency list threaded through Entry's
+// lruPrev/lruNext fields: head.lruNext is the most recently used
+// resident, head.lruPrev the eviction candidate. All operations are
+// O(1) pointer splices under the shard lock.
+type lruList struct {
+	head Entry // sentinel
+}
+
+func (l *lruList) init() {
+	l.head.lruPrev, l.head.lruNext = &l.head, &l.head
+}
+
+func (l *lruList) pushFront(e *Entry) {
+	e.lruPrev = &l.head
+	e.lruNext = l.head.lruNext
+	e.lruNext.lruPrev = e
+	l.head.lruNext = e
+}
+
+func (l *lruList) remove(e *Entry) {
+	if e.lruNext == nil {
+		return // never linked (or already removed)
+	}
+	e.lruPrev.lruNext = e.lruNext
+	e.lruNext.lruPrev = e.lruPrev
+	e.lruPrev, e.lruNext = nil, nil
+}
+
+func (l *lruList) moveFront(e *Entry) {
+	if e.lruNext == nil || l.head.lruNext == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}
+
+// tail returns the least-recently-used entry, or nil when empty.
+func (l *lruList) tail() *Entry {
+	if l.head.lruPrev == &l.head {
+		return nil
+	}
+	return l.head.lruPrev
+}

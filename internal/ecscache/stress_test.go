@@ -23,6 +23,9 @@ func TestConcurrentCacheAccess(t *testing.T) {
 	}{
 		{"linear", Config{Mode: HonorScope, ClampScopeToSource: true}},
 		{"indexed", Config{Mode: HonorScope, ClampScopeToSource: true, Indexed: true}},
+		{"sharded", Config{Mode: HonorScope, ClampScopeToSource: true, Shards: 8}},
+		{"sharded-bounded", Config{Mode: HonorScope, ClampScopeToSource: true, Shards: 4, MaxEntries: 16}},
+		{"sharded-bounded-indexed", Config{Mode: HonorScope, ClampScopeToSource: true, Shards: 4, MaxEntries: 16, Indexed: true}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			c := New(mode.cfg)
@@ -72,7 +75,10 @@ func TestConcurrentCacheAccess(t *testing.T) {
 						k := keys[(w+i)%len(keys)]
 						now := start.Add(time.Duration(i) * time.Millisecond)
 						if e, ok := c.Lookup(k, client(i%16), now); ok {
-							if e.RemainingTTL(now) > 20 {
+							// Entries live 20s; the reader's clock may trail
+							// the writer's by up to the iteration spread, and
+							// RemainingTTL rounds up, so 21 is the ceiling.
+							if e.RemainingTTL(now) > 21 {
 								t.Errorf("torn entry: TTL %d", e.RemainingTTL(now))
 								return
 							}
@@ -91,6 +97,10 @@ func TestConcurrentCacheAccess(t *testing.T) {
 				}()
 			}
 			wg.Wait()
+			// At quiescence the counter partition must hold exactly.
+			if st := c.Stats(); !st.Balanced() {
+				t.Errorf("lookup partition broken after stress: %+v", st)
+			}
 		})
 	}
 }

@@ -95,6 +95,27 @@ type Config struct {
 	// MaxStale bounds how long past expiry an entry remains servable as
 	// stale (default 1 hour).
 	MaxStale time.Duration
+	// CacheEntries bounds the resolver cache's resident entries; over the
+	// bound, least-recently-used entries are evicted. Zero means
+	// unbounded (the pre-production default, used by the unbounded §7
+	// blow-up experiments).
+	CacheEntries int
+	// CacheShards spreads the cache across independently locked shards
+	// for concurrent serving. Zero or one means a single shard.
+	CacheShards int
+	// CacheIndexed selects the hash-indexed per-question cache structure
+	// over the linear scan. Pure performance knob; semantics identical.
+	CacheIndexed bool
+	// NegativeTTL caps the cache lifetime of negative (non-NoError)
+	// answers; zero applies the cache's 30s default.
+	NegativeTTL time.Duration
+	// MinTTL / MaxTTL clamp cached positive lifetimes into a floor and
+	// every lifetime under a ceiling. Zero disables each clamp.
+	MinTTL time.Duration
+	MaxTTL time.Duration
+	// DisableCoalescing turns off singleflight deduplication of
+	// concurrent identical (question, client prefix) cache misses.
+	DisableCoalescing bool
 }
 
 // staleTTL is the TTL stamped on records served stale, per the RFC 8767
@@ -153,6 +174,12 @@ func New(cfg Config) *Resolver {
 			Mode:               cfg.Profile.CacheMode,
 			CapBits:            cfg.Profile.CacheCapBits,
 			ClampScopeToSource: cfg.Profile.ClampScopeToSource,
+			NegativeTTL:        cfg.NegativeTTL,
+			MinTTL:             cfg.MinTTL,
+			MaxTTL:             cfg.MaxTTL,
+			Indexed:            cfg.CacheIndexed,
+			Shards:             cfg.CacheShards,
+			MaxEntries:         cfg.CacheEntries,
 		}),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		lastProbe: make(map[netip.Addr]time.Time),
@@ -222,8 +249,85 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 		}
 	}
 
-	// Miss: resolve upstream, chasing CNAME chains that leave the
-	// answering zone (the www→CDN redirection path of §8.4).
+	// Miss: resolve upstream. Concurrent misses for the same
+	// (question, client prefix at clientBits) would each fan a query out
+	// to the authority — the ECS-multiplied thundering herd §7 costs
+	// out — so identical in-flight resolutions coalesce onto one leader
+	// through the cache's singleflight layer. The leader alone inserts;
+	// waiters share its result. Coalescing is keyed on the masked client
+	// prefix because clients behind different prefixes legitimately need
+	// different upstream answers.
+	var (
+		res *upstreamResult
+		err error
+	)
+	if bypassCache || r.cfg.DisableCoalescing {
+		res, err = r.resolveUpstream(q, key, now, withinMinute, clientAddr, clientBits, bypassCache)
+	} else {
+		flightPrefix := netip.PrefixFrom(ecsopt.MaskAddr(clientAddr, clientBits), clientBits)
+		var v any
+		v, _, err = r.cache.Do(key, flightPrefix, func() (any, error) {
+			return r.resolveUpstream(q, key, now, withinMinute, clientAddr, clientBits, bypassCache)
+		})
+		res, _ = v.(*upstreamResult)
+	}
+	if err != nil || res == nil {
+		if errors.Is(err, errNoAuthority) {
+			resp.RCode = dnswire.RCodeServFail
+			return resp
+		}
+		return r.answerFailure(resp, key, clientAddr, clientBits, query, now)
+	}
+
+	// Answer the client.
+	resp.RCode = res.rcode
+	resp.Answers = res.answers
+	resp.Authorities = res.authority
+	if query.EDNS != nil {
+		resp.EDNS = dnswire.NewEDNS()
+		if res.respHas && (fromClientECS || res.sentECS) {
+			scope := 0
+			if res.hasECS {
+				scope = int(res.respScope)
+			}
+			echo, err := ecsopt.New(clientAddr, clientBits)
+			if err == nil {
+				//ecslint:ignore ecssemantics echoes the upstream's observed scope verbatim; the paper measures exactly this pass-through behavior
+				ecsopt.Attach(resp, echo.WithScope(scope))
+			}
+		}
+	}
+	return resp
+}
+
+// errNoAuthority marks a resolution that failed before any upstream
+// exchange because no authority is known for the name; it degrades to
+// SERVFAIL without the serve-stale path (there is nothing to be stale
+// relative to).
+var errNoAuthority = errors.New("resolver: no authority known for name")
+
+// upstreamResult is the outcome of one upstream resolution, shaped so
+// singleflight waiters can answer their own clients from the leader's
+// fetch: response content plus the ECS facts the client echo needs.
+type upstreamResult struct {
+	answers   []dnswire.RR
+	authority []dnswire.RR
+	rcode     dnswire.RCode
+	// respHas records that the final authority answered with ECS at all;
+	// hasECS that the cached entry carries a subnet; respScope the
+	// authoritative scope echoed to clients.
+	respHas   bool
+	hasECS    bool
+	sentECS   bool
+	respScope uint8
+}
+
+// resolveUpstream runs the upstream resolution loop for one question,
+// chasing CNAME chains that leave the answering zone (the www→CDN
+// redirection path of §8.4), and populates the cache with the outcome.
+// It is the singleflight fetch body: exactly one caller per coalesced
+// herd executes it.
+func (r *Resolver) resolveUpstream(q dnswire.Question, key ecscache.Key, now time.Time, withinMinute bool, clientAddr netip.Addr, clientBits int, bypassCache bool) (*upstreamResult, error) {
 	var (
 		answers   []dnswire.RR
 		authority []dnswire.RR
@@ -237,8 +341,7 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 	for hop := 0; hop < 8; hop++ {
 		authAddr, zone, ok := r.cfg.Directory.Lookup(target)
 		if !ok {
-			resp.RCode = dnswire.RCodeServFail
-			return resp
+			return nil, errNoAuthority
 		}
 		up := dnswire.NewQuery(r.randUint16(), target, q.Type)
 		up.RecursionDesired = false
@@ -255,7 +358,10 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 		}
 		upResp, err := r.exchangeUpstream(authAddr, up)
 		if err != nil || upResp == nil {
-			return r.answerFailure(resp, key, clientAddr, clientBits, query, now)
+			if err == nil {
+				err = errUpstreamDropped
+			}
+			return nil, err
 		}
 		// Extract the authoritative scope, leniently: misbehaving
 		// servers are part of the ecosystem under test.
@@ -290,14 +396,13 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 
 	// Populate the cache. Empty (negative) answers live for the SOA
 	// minimum from the authority section, per RFC 2308.
-	respHasECS := respHas
 	entry := ecscache.Entry{
 		Answer:    answers,
 		Authority: authority,
 		RCode:     rcode,
 		Expiry:    ecscache.TTLBound(now, answers, negativeTTL(authority)),
 	}
-	if respHasECS && sentECS {
+	if respHas && sentECS {
 		entry.HasECS = true
 		//ecslint:ignore ecssemantics wire scope is stored as observed; ecscache clamps at insert when the profile sets ClampScopeToSource
 		entry.Subnet = sent.WithScope(int(respECS.ScopePrefix))
@@ -308,25 +413,15 @@ func (r *Resolver) HandleDNS(from netip.Addr, query *dnswire.Message) *dnswire.M
 		r.cache.Insert(key, entry, now)
 	}
 
-	// Answer the client.
-	resp.RCode = rcode
-	resp.Answers = answers
-	resp.Authorities = authority
-	if query.EDNS != nil {
-		resp.EDNS = dnswire.NewEDNS()
-		if respHasECS && (fromClientECS || sentECS) {
-			scope := 0
-			if entry.HasECS {
-				scope = int(respECS.ScopePrefix)
-			}
-			echo, err := ecsopt.New(clientAddr, clientBits)
-			if err == nil {
-				//ecslint:ignore ecssemantics echoes the upstream's observed scope verbatim; the paper measures exactly this pass-through behavior
-				ecsopt.Attach(resp, echo.WithScope(scope))
-			}
-		}
-	}
-	return resp
+	return &upstreamResult{
+		answers:   answers,
+		authority: authority,
+		rcode:     rcode,
+		respHas:   respHas,
+		hasECS:    entry.HasECS,
+		sentECS:   sentECS,
+		respScope: respECS.ScopePrefix,
+	}, nil
 }
 
 // Upstream-attempt failures beyond transport errors.

@@ -45,6 +45,17 @@ go test -race ./...
 stage "overload chaostest (flood + RRL storm, -race, replay x2)"
 go test -race -short -count=2 -run 'TestOverload|TestRRLStorm' ./internal/netem/chaostest
 
+# Cache benchmark smoke: a short fixed-iteration run of the sharding
+# benchmarks, piped through benchjson so the BENCH_cache.json schema
+# and required benchmark set are validated on every verify. Full-length
+# runs (see EXPERIMENTS.md) regenerate the committed artifact.
+stage "bench smoke (cache benchmarks -> results/BENCH_cache.json schema)"
+go test -run NONE -bench 'BenchmarkCacheLookup|BenchmarkCacheChurn' \
+	-benchtime 100x -benchmem -cpu 4 ./internal/ecscache \
+	| go run ./cmd/benchjson \
+		-require BenchmarkCacheLookup,BenchmarkCacheChurn \
+		-out /tmp/BENCH_cache.smoke.json
+
 stage "fuzz smoke tests (${FUZZTIME} each)"
 go test -fuzz FuzzUnpack    -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
 go test -fuzz FuzzNameParse -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
