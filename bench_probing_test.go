@@ -45,7 +45,7 @@ func measureLeak(profile resolver.Profile) (leaked, total int) {
 		Now:        net.Clock().Now,
 	})
 	z := authority.NewZone("probe.example.", 20)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")})
 	auth.AddZone(z)
 	auth.SetLog(func(r authority.LogRecord) {
 		total++

@@ -97,12 +97,12 @@ func benchResponse() *dnswire.Message {
 	for i := 0; i < 12; i++ {
 		m.Answers = append(m.Answers, dnswire.RR{
 			Name: "video.edge.cdn.example.net.", Class: dnswire.ClassINET, TTL: 20,
-			Data: dnswire.ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
+			Data: &dnswire.ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
 		})
 	}
 	m.Authorities = append(m.Authorities, dnswire.RR{
 		Name: "cdn.example.net.", Class: dnswire.ClassINET, TTL: 3600,
-		Data: dnswire.NSRData{Host: "ns1.cdn.example.net."},
+		Data: &dnswire.NSRData{Host: "ns1.cdn.example.net."},
 	})
 	return m
 }

@@ -100,8 +100,8 @@ func main() {
 		origin = zone.Origin
 	} else {
 		zone = authority.NewZone(origin, uint32(*ttl))
-		zone.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: addr})
-		zone.MustAdd(dnswire.RR{Name: origin, Data: dnswire.NSRData{Host: mustPrepend(origin, "ns1")}})
+		zone.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: addr})
+		zone.MustAdd(dnswire.RR{Name: origin, Data: &dnswire.NSRData{Host: mustPrepend(origin, "ns1")}})
 	}
 	srv.AddZone(zone)
 	if !*quiet {

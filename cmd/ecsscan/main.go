@@ -45,6 +45,8 @@ func main() {
 	targetsArg := flag.String("targets", "", "bulk mode: file of resolver host:port lines (or a comma-separated list)")
 	concurrency := flag.Int("concurrency", 64, "bulk mode: probes in flight")
 	rate := flag.Float64("rate", 0, "bulk mode: max queries/sec (0 = unlimited)")
+	shards := flag.Int("shards", 0, "bulk mode: pipeline shards, each with its own socket and ID space (0 = one per CPU)")
+	batch := flag.Bool("batch", false, "bulk mode: coalesce sends/receives into sendmmsg/recvmmsg batches (linux)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -64,8 +66,11 @@ func main() {
 		log.Fatalf("ecsscan: bad name: %v", err)
 	}
 
+	if *shards < 0 {
+		log.Fatalf("ecsscan: -shards must be >= 0, got %d", *shards)
+	}
 	if *targetsArg != "" {
-		bulkScan(*targetsArg, base, *concurrency, *rate, *timeout)
+		bulkScan(*targetsArg, base, *concurrency, *rate, *timeout, *shards, *batch)
 		return
 	}
 
@@ -115,14 +120,11 @@ func loadTargets(arg string) []string {
 // bulkScan sweeps many resolvers concurrently through the pipelined
 // transport and prints one availability line per target plus a
 // throughput summary.
-func bulkScan(targetsArg string, base dnswire.Name, concurrency int, rate float64, timeout time.Duration) {
+func bulkScan(targetsArg string, base dnswire.Name, concurrency int, rate float64, timeout time.Duration, shards int, batch bool) {
 	targets := loadTargets(targetsArg)
-	sockets := 4
-	if concurrency > 64 {
-		sockets = 8
-	}
 	pipe, err := dnsclient.NewPipeline(dnsclient.PipelineConfig{
-		Sockets: sockets,
+		Shards:  shards, // 0 = one per CPU
+		Batch:   batch,
 		Timeout: timeout,
 	})
 	if err != nil {

@@ -57,7 +57,7 @@ func main() {
 		if len(resp.Answers) == 0 {
 			log.Fatalf("%s: no answer", label)
 		}
-		edge := resp.Answers[0].Data.(dnswire.ARData).Addr
+		edge := resp.Answers[0].Data.(*dnswire.ARData).Addr
 		edgeLoc, _ := world.Locate(edge)
 		rtt := time.Duration(geo.RTTMillis(clientLoc, edgeLoc) * float64(time.Millisecond))
 		fmt.Printf("%-34s → edge %-15s in %-13s RTT %v\n",

@@ -39,7 +39,7 @@ func main() {
 		Now:        time.Now, //ecslint:ignore wallclock live-wire demo runs on the real clock
 	})
 	zone := authority.NewZone("live.example.", 30)
-	zone.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.80")})
+	zone.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.80")})
 	auth.AddZone(zone)
 	authSrv := dnsserver.New(auth)
 	authBound, err := authSrv.Start("127.0.0.1:0")

@@ -44,7 +44,7 @@ func main() {
 		Now:        net.Clock().Now,
 	})
 	zone := authority.NewZone("example.org.", 60)
-	zone.MustAdd(dnswire.RR{Name: "www.example.org.", Data: dnswire.ARData{
+	zone.MustAdd(dnswire.RR{Name: "www.example.org.", Data: &dnswire.ARData{
 		Addr: netip.MustParseAddr("192.0.2.80"),
 	}})
 	auth.AddZone(zone)

@@ -55,7 +55,7 @@ func main() {
 		Now: net.Clock().Now,
 	})
 	z := authority.NewZone(zone, 30)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")})
 	auth.AddZone(z)
 	auth.SetLog(logs.Append)
 	net.Register(authAddr, auth)

@@ -14,11 +14,11 @@ func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
 
 func testZone() *Zone {
 	z := NewZone("example.org.", 60)
-	z.MustAdd(dnswire.RR{Name: "www.example.org.", Data: dnswire.ARData{Addr: addr("192.0.2.10")}})
-	z.MustAdd(dnswire.RR{Name: "alias.example.org.", Data: dnswire.CNAMERData{Target: "www.example.org."}})
-	z.MustAdd(dnswire.RR{Name: "ext.example.org.", Data: dnswire.CNAMERData{Target: "cdn.example.net."}})
-	z.MustAdd(dnswire.RR{Name: "txtonly.example.org.", Data: dnswire.TXTRData{Strings: []string{"x"}}})
-	z.MustAdd(dnswire.RR{Name: "example.org.", Data: dnswire.NSRData{Host: "ns1.example.org."}})
+	z.MustAdd(dnswire.RR{Name: "www.example.org.", Data: &dnswire.ARData{Addr: addr("192.0.2.10")}})
+	z.MustAdd(dnswire.RR{Name: "alias.example.org.", Data: &dnswire.CNAMERData{Target: "www.example.org."}})
+	z.MustAdd(dnswire.RR{Name: "ext.example.org.", Data: &dnswire.CNAMERData{Target: "cdn.example.net."}})
+	z.MustAdd(dnswire.RR{Name: "txtonly.example.org.", Data: &dnswire.TXTRData{Strings: []string{"x"}}})
+	z.MustAdd(dnswire.RR{Name: "example.org.", Data: &dnswire.NSRData{Host: "ns1.example.org."}})
 	return z
 }
 
@@ -39,7 +39,7 @@ func TestZoneExactMatch(t *testing.T) {
 	if resp.RCode != dnswire.RCodeNoError || !resp.Authoritative {
 		t.Fatalf("header: %+v", resp.Header)
 	}
-	if len(resp.Answers) != 1 || resp.Answers[0].Data.(dnswire.ARData).Addr != addr("192.0.2.10") {
+	if len(resp.Answers) != 1 || resp.Answers[0].Data.(*dnswire.ARData).Addr != addr("192.0.2.10") {
 		t.Fatalf("answers: %v", resp.Answers)
 	}
 }
@@ -92,11 +92,11 @@ func TestOutOfZoneRefused(t *testing.T) {
 
 func TestWildcardSynthesis(t *testing.T) {
 	z := NewZone("scan.example.org.", 30)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: addr("192.0.2.53")})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: addr("192.0.2.53")})
 	s := NewServer(Config{})
 	s.AddZone(z)
 	resp := s.HandleDNS(addr("198.51.100.1"), query("probe-1-2-3-4.scan.example.org", dnswire.TypeA))
-	if len(resp.Answers) != 1 || resp.Answers[0].Data.(dnswire.ARData).Addr != addr("192.0.2.53") {
+	if len(resp.Answers) != 1 || resp.Answers[0].Data.(*dnswire.ARData).Addr != addr("192.0.2.53") {
 		t.Fatalf("wildcard answer: %v", resp.Answers)
 	}
 	if resp.Answers[0].TTL != 30 {
@@ -277,7 +277,7 @@ func TestCDNServerMapsViaECS(t *testing.T) {
 	if len(resp.Answers) == 0 {
 		t.Fatal("no answers")
 	}
-	edge := resp.Answers[0].Data.(dnswire.ARData).Addr
+	edge := resp.Answers[0].Data.(*dnswire.ARData).Addr
 	loc, ok := w.Locate(edge)
 	if !ok {
 		t.Fatalf("edge %s unlocatable", edge)
@@ -301,7 +301,7 @@ func TestCDNServerWithoutECSUsesResolver(t *testing.T) {
 	s := NewCDNServer(Config{ECSEnabled: true}, "cdn.example.net.", policy, 20)
 	resolver := w.AddrInCity(geo.CityIndex("Paris"), 0, 3)
 	resp := s.HandleDNS(resolver, query("video.cdn.example.net", dnswire.TypeA))
-	edge := resp.Answers[0].Data.(dnswire.ARData).Addr
+	edge := resp.Answers[0].Data.(*dnswire.ARData).Addr
 	loc, _ := w.Locate(edge)
 	paris := geo.LocationOfCity(geo.CityIndex("Paris"))
 	if d := geo.DistanceKm(loc, paris); d > 1500 {

@@ -327,13 +327,13 @@ func NewCDNServer(cfg Config, suffix dnswire.Name, policy *cdn.Policy, ttl uint3
 			if q.Type == dnswire.TypeA && e.Addr.Is4() {
 				rrs = append(rrs, dnswire.RR{
 					Name: q.Name, Class: dnswire.ClassINET, TTL: ttl,
-					Data: dnswire.ARData{Addr: e.Addr},
+					Data: &dnswire.ARData{Addr: e.Addr},
 				})
 			}
 			if q.Type == dnswire.TypeAAAA && e.Addr.Is6() {
 				rrs = append(rrs, dnswire.RR{
 					Name: q.Name, Class: dnswire.ClassINET, TTL: ttl,
-					Data: dnswire.AAAARData{Addr: e.Addr},
+					Data: &dnswire.AAAARData{Addr: e.Addr},
 				})
 			}
 		}

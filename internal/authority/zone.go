@@ -138,7 +138,7 @@ func (z *Zone) lookup(name dnswire.Name, t dnswire.Type) ([]dnswire.RR, lookupRe
 		if t != dnswire.TypeCNAME {
 			if cn, ok := z.records[recordKey{name: cur, typ: dnswire.TypeCNAME}]; ok && len(cn) > 0 {
 				answer = append(answer, cn[0])
-				target := cn[0].Data.(dnswire.CNAMERData).Target
+				target := cn[0].Data.(*dnswire.CNAMERData).Target
 				if !target.IsSubdomainOf(z.Origin) {
 					// Chain leaves the zone; the resolver chases it.
 					return answer, lookupHit
@@ -168,8 +168,9 @@ func (z *Zone) lookup(name dnswire.Name, t dnswire.Type) ([]dnswire.RR, lookupRe
 // soaRR returns the zone's SOA as a resource record for authority
 // sections.
 func (z *Zone) soaRR() dnswire.RR {
+	soa := z.SOA // copy: the RR must not alias the zone's live SOA struct
 	return dnswire.RR{
-		Name: z.Origin, Class: dnswire.ClassINET, TTL: z.SOA.Minimum, Data: z.SOA,
+		Name: z.Origin, Class: dnswire.ClassINET, TTL: z.SOA.Minimum, Data: &soa,
 	}
 }
 
@@ -183,7 +184,7 @@ func (z *Zone) referralRRs(name dnswire.Name) []dnswire.RR {
 			for _, h := range hosts {
 				out = append(out, dnswire.RR{
 					Name: cut, Class: dnswire.ClassINET, TTL: 172800,
-					Data: dnswire.NSRData{Host: h},
+					Data: &dnswire.NSRData{Host: h},
 				})
 			}
 			return out

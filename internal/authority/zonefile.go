@@ -192,8 +192,8 @@ func (p *zoneParser) parseLine(line string) error {
 	if err != nil {
 		return err
 	}
-	if soa, ok := data.(dnswire.SOARData); ok {
-		p.zone.SOA = soa
+	if soa, ok := data.(*dnswire.SOARData); ok {
+		p.zone.SOA = *soa
 		return nil
 	}
 	rr.Data = data
@@ -229,7 +229,7 @@ func (p *zoneParser) parseRData(typ string, fields []string) (dnswire.RData, err
 		if err != nil || !addr.Is4() {
 			return nil, fmt.Errorf("bad A address %q", fields[0])
 		}
-		return dnswire.ARData{Addr: addr}, nil
+		return &dnswire.ARData{Addr: addr}, nil
 	case "AAAA":
 		if err := need(1); err != nil {
 			return nil, err
@@ -238,7 +238,7 @@ func (p *zoneParser) parseRData(typ string, fields []string) (dnswire.RData, err
 		if err != nil || !addr.Is6() || addr.Is4In6() {
 			return nil, fmt.Errorf("bad AAAA address %q", fields[0])
 		}
-		return dnswire.AAAARData{Addr: addr}, nil
+		return &dnswire.AAAARData{Addr: addr}, nil
 	case "CNAME":
 		if err := need(1); err != nil {
 			return nil, err
@@ -247,7 +247,7 @@ func (p *zoneParser) parseRData(typ string, fields []string) (dnswire.RData, err
 		if err != nil {
 			return nil, err
 		}
-		return dnswire.CNAMERData{Target: target}, nil
+		return &dnswire.CNAMERData{Target: target}, nil
 	case "NS":
 		if err := need(1); err != nil {
 			return nil, err
@@ -256,7 +256,7 @@ func (p *zoneParser) parseRData(typ string, fields []string) (dnswire.RData, err
 		if err != nil {
 			return nil, err
 		}
-		return dnswire.NSRData{Host: host}, nil
+		return &dnswire.NSRData{Host: host}, nil
 	case "PTR":
 		if err := need(1); err != nil {
 			return nil, err
@@ -265,7 +265,7 @@ func (p *zoneParser) parseRData(typ string, fields []string) (dnswire.RData, err
 		if err != nil {
 			return nil, err
 		}
-		return dnswire.PTRRData{Target: target}, nil
+		return &dnswire.PTRRData{Target: target}, nil
 	case "MX":
 		if err := need(2); err != nil {
 			return nil, err
@@ -278,12 +278,12 @@ func (p *zoneParser) parseRData(typ string, fields []string) (dnswire.RData, err
 		if err != nil {
 			return nil, err
 		}
-		return dnswire.MXRData{Preference: uint16(pref), Host: host}, nil
+		return &dnswire.MXRData{Preference: uint16(pref), Host: host}, nil
 	case "TXT":
 		if len(fields) == 0 {
 			return nil, fmt.Errorf("TXT wants at least one string")
 		}
-		return dnswire.TXTRData{Strings: fields}, nil
+		return &dnswire.TXTRData{Strings: fields}, nil
 	case "SOA":
 		if err := need(7); err != nil {
 			return nil, err
@@ -304,7 +304,7 @@ func (p *zoneParser) parseRData(typ string, fields []string) (dnswire.RData, err
 			}
 			vals[i] = uint32(v)
 		}
-		return dnswire.SOARData{
+		return &dnswire.SOARData{
 			MName: mname, RName: rname,
 			Serial: vals[0], Refresh: vals[1], Retry: vals[2],
 			Expire: vals[3], Minimum: vals[4],
@@ -416,14 +416,14 @@ func quoteCharString(s string) string {
 // quoting each character-string, unlike RData.String's display form).
 func presentRData(data dnswire.RData) (string, error) {
 	switch d := data.(type) {
-	case dnswire.TXTRData:
+	case *dnswire.TXTRData:
 		parts := make([]string, len(d.Strings))
 		for i, s := range d.Strings {
 			parts[i] = quoteCharString(s)
 		}
 		return strings.Join(parts, " "), nil
-	case dnswire.ARData, dnswire.AAAARData, dnswire.CNAMERData,
-		dnswire.NSRData, dnswire.PTRRData, dnswire.MXRData:
+	case *dnswire.ARData, *dnswire.AAAARData, *dnswire.CNAMERData,
+		*dnswire.NSRData, *dnswire.PTRRData, *dnswire.MXRData:
 		return data.String(), nil
 	default:
 		return "", fmt.Errorf("zonefile: cannot serialize %s records", data.Type())

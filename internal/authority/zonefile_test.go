@@ -66,7 +66,7 @@ func TestZoneFileRecords(t *testing.T) {
 	if resp.Answers[0].TTL != 60 {
 		t.Fatalf("www A TTL = %d, want per-record 60", resp.Answers[0].TTL)
 	}
-	if resp.Answers[0].Data.(dnswire.ARData).Addr != netip.MustParseAddr("192.0.2.80") {
+	if resp.Answers[0].Data.(*dnswire.ARData).Addr != netip.MustParseAddr("192.0.2.80") {
 		t.Fatalf("www A = %v", resp.Answers[0].Data)
 	}
 
@@ -82,25 +82,25 @@ func TestZoneFileRecords(t *testing.T) {
 
 	resp = s.HandleDNS(resolver, query("ext.scan.example.org", dnswire.TypeA))
 	if len(resp.Answers) != 1 ||
-		resp.Answers[0].Data.(dnswire.CNAMERData).Target != "cdn.example.net." {
+		resp.Answers[0].Data.(*dnswire.CNAMERData).Target != "cdn.example.net." {
 		t.Fatalf("absolute CNAME target: %v", resp.Answers)
 	}
 
 	resp = s.HandleDNS(resolver, query("mail.scan.example.org", dnswire.TypeMX))
-	mx := resp.Answers[0].Data.(dnswire.MXRData)
+	mx := resp.Answers[0].Data.(*dnswire.MXRData)
 	if mx.Preference != 10 || mx.Host != "mx1.scan.example.org." {
 		t.Fatalf("MX = %+v", mx)
 	}
 
 	resp = s.HandleDNS(resolver, query("txt.scan.example.org", dnswire.TypeTXT))
-	txt := resp.Answers[0].Data.(dnswire.TXTRData)
+	txt := resp.Answers[0].Data.(*dnswire.TXTRData)
 	if len(txt.Strings) != 2 || txt.Strings[0] != "hello world" {
 		t.Fatalf("TXT = %+v", txt)
 	}
 
 	// The blank-owner record inherits the previous owner (rev).
 	resp = s.HandleDNS(resolver, query("rev.scan.example.org", dnswire.TypeA))
-	if len(resp.Answers) != 1 || resp.Answers[0].Data.(dnswire.ARData).Addr != netip.MustParseAddr("192.0.2.81") {
+	if len(resp.Answers) != 1 || resp.Answers[0].Data.(*dnswire.ARData).Addr != netip.MustParseAddr("192.0.2.81") {
 		t.Fatalf("inherited-owner A: %v", resp.Answers)
 	}
 }
@@ -149,7 +149,7 @@ func TestZoneFileCommentInsideQuotes(t *testing.T) {
 	s := NewServer(Config{})
 	s.AddZone(z)
 	resp := s.HandleDNS(netip.MustParseAddr("198.51.100.1"), query("t.q.example", dnswire.TypeTXT))
-	txt := resp.Answers[0].Data.(dnswire.TXTRData)
+	txt := resp.Answers[0].Data.(*dnswire.TXTRData)
 	if len(txt.Strings) != 1 || txt.Strings[0] != "semi;colon" {
 		t.Fatalf("TXT = %+v", txt)
 	}
@@ -216,7 +216,7 @@ func TestWriteZoneFileRoundTrip(t *testing.T) {
 
 func TestWriteZoneFileQuotesTXT(t *testing.T) {
 	z := NewZone("q.example.", 60)
-	z.MustAdd(dnswire.RR{Name: "t.q.example.", Data: dnswire.TXTRData{
+	z.MustAdd(dnswire.RR{Name: "t.q.example.", Data: &dnswire.TXTRData{
 		Strings: []string{`with "quotes" and ; semicolons`},
 	}})
 	var buf strings.Builder
@@ -230,7 +230,7 @@ func TestWriteZoneFileQuotesTXT(t *testing.T) {
 	s := NewServer(Config{})
 	s.AddZone(back)
 	resp := s.HandleDNS(netip.MustParseAddr("198.51.100.1"), query("t.q.example", dnswire.TypeTXT))
-	got := resp.Answers[0].Data.(dnswire.TXTRData).Strings[0]
+	got := resp.Answers[0].Data.(*dnswire.TXTRData).Strings[0]
 	if got != `with "quotes" and ; semicolons` {
 		t.Fatalf("TXT content changed: %q", got)
 	}
@@ -245,7 +245,7 @@ func TestZoneFileEscapes(t *testing.T) {
 	s := NewServer(Config{})
 	s.AddZone(z)
 	resp := s.HandleDNS(netip.MustParseAddr("198.51.100.1"), query("t.e.example", dnswire.TypeTXT))
-	got := resp.Answers[0].Data.(dnswire.TXTRData).Strings[0]
+	got := resp.Answers[0].Data.(*dnswire.TXTRData).Strings[0]
 	if got != "back\\slash and \"quote" {
 		t.Fatalf("escaped TXT = %q", got)
 	}

@@ -180,7 +180,7 @@ func runRootTrace(s *Study, cfg Config) int {
 		Now:  s.Net.Clock().Now,
 	})
 	rz := authority.NewZone(".", 518400)
-	rz.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")})
+	rz.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")})
 	root.AddZone(rz)
 	root.SetLog(rootLogs.Append)
 	s.Net.Register(rootAddr, root)

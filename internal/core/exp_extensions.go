@@ -62,7 +62,7 @@ func runExtAdaptive(cfg Config) (*Report, error) {
 		Now:        n.Clock().Now,
 	})
 	z := authority.NewZone("coarse.example.", 60)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.10")})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.10")})
 	auth.AddZone(z)
 	auth.SetLog(logs.Append)
 	n.Register(authAddr, auth)

@@ -213,8 +213,8 @@ func BuildStudy(cfg Config) *Study {
 		Now:        n.Clock().Now,
 	})
 	cz := authority.NewZone(s.CDNZone, 20)
-	cz.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.190")})
-	cz.SetWildcard(dnswire.TypeAAAA, dnswire.AAAARData{Addr: netip.MustParseAddr("2001:db8:99::1")})
+	cz.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.190")})
+	cz.SetWildcard(dnswire.TypeAAAA, &dnswire.AAAARData{Addr: netip.MustParseAddr("2001:db8:99::1")})
 	cdnAuth.AddZone(cz)
 	cdnAuth.SetLog(func(r authority.LogRecord) {
 		if !whitelisted[r.Resolver] {
@@ -233,7 +233,7 @@ func BuildStudy(cfg Config) *Study {
 		Now:        n.Clock().Now,
 	})
 	sz := authority.NewZone(s.ScanZone, 30)
-	sz.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")})
+	sz.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")})
 	scanAuth.AddZone(sz)
 	scanAuth.SetLog(s.ScanLogs.Append)
 	n.Register(s.ScanAddr, scanAuth)

@@ -1,0 +1,23 @@
+package dnsclient
+
+import "net/netip"
+
+// batchSize is the maximum number of datagrams coalesced into one batch
+// syscall, on both the send and receive side.
+const batchSize = 32
+
+// batchConn is the batched-I/O face of a shard socket: sendmmsg and
+// recvmmsg where the platform has them. A nil batchConn means the
+// platform (or the socket) does not support batching and the shard uses
+// single-packet I/O.
+type batchConn interface {
+	// sendBatch writes reqs[i].buf to reqs[i].dest, returning how many
+	// of the leading messages were handed to the kernel. err describes
+	// the first message that failed (reqs[n]); messages after a partial
+	// send are simply not yet sent.
+	sendBatch(reqs []sendReq) (n int, err error)
+	// recvBatch fills bufs with up to len(bufs) datagrams, recording
+	// each datagram's length in sizes and source in addrs. It blocks
+	// until at least one datagram arrives or the socket fails.
+	recvBatch(bufs [][]byte, sizes []int, addrs []netip.AddrPort) (n int, err error)
+}

@@ -1,0 +1,198 @@
+//go:build linux && (amd64 || arm64)
+
+package dnsclient
+
+import (
+	"encoding/binary"
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr. Go's struct rules add
+// the same trailing padding the kernel's alignment does, so the array
+// stride matches on every linux arch.
+type mmsghdr struct {
+	Hdr syscall.Msghdr
+	Len uint32
+}
+
+// sockaddrLen is enough for a sockaddr_in6, the larger of the two
+// families this transport speaks.
+const sockaddrLen = 28
+
+// mmsgConn implements batchConn over raw sendmmsg/recvmmsg syscalls,
+// integrated with the runtime poller through the connection's
+// syscall.RawConn (MSG_DONTWAIT + retry-on-readable/writable). The
+// send-side state is only touched by the shard's sendLoop and the
+// recv side only by its readLoop, so neither needs locking.
+type mmsgConn struct {
+	rc syscall.RawConn
+	v6 bool // socket family: true for AF_INET6 (the dual-stack default)
+
+	shdrs  [batchSize]mmsghdr
+	siovs  [batchSize]syscall.Iovec
+	snames [batchSize][sockaddrLen]byte
+	sreqs  []sendReq
+	sn     int
+	serr   error
+	sendFn func(fd uintptr) bool
+
+	rhdrs  [batchSize]mmsghdr
+	riovs  [batchSize]syscall.Iovec
+	rnames [batchSize][sockaddrLen]byte
+	rbufs  [][]byte
+	rn     int
+	rerr   error
+	recvFn func(fd uintptr) bool
+}
+
+// newBatchConn wires batched I/O onto pc, or returns nil (single-packet
+// fallback) when the raw connection is unavailable.
+func newBatchConn(pc *net.UDPConn) batchConn {
+	rc, err := pc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	la, ok := pc.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		return nil
+	}
+	c := &mmsgConn{rc: rc, v6: la.IP.To4() == nil}
+	c.sendFn = c.sendReady
+	c.recvFn = c.recvReady
+	return c
+}
+
+// putSockaddr encodes dest into name, returning the sockaddr length.
+// The family follows the socket, not the destination: on the dual-stack
+// AF_INET6 socket IPv4 destinations go out as v4-mapped v6 addresses,
+// exactly as WriteToUDPAddrPort would send them.
+func (c *mmsgConn) putSockaddr(name *[sockaddrLen]byte, dest netip.AddrPort) uint32 {
+	if c.v6 {
+		binary.NativeEndian.PutUint16(name[0:2], syscall.AF_INET6)
+		binary.BigEndian.PutUint16(name[2:4], dest.Port())
+		clear(name[4:8]) // flowinfo
+		a16 := dest.Addr().As16()
+		copy(name[8:24], a16[:])
+		clear(name[24:28]) // scope id
+		return syscall.SizeofSockaddrInet6
+	}
+	binary.NativeEndian.PutUint16(name[0:2], syscall.AF_INET)
+	binary.BigEndian.PutUint16(name[2:4], dest.Port())
+	a4 := dest.Addr().As4()
+	copy(name[4:8], a4[:])
+	clear(name[8:16]) // sin_zero
+	return syscall.SizeofSockaddrInet4
+}
+
+// addrFromSockaddr decodes the kernel-filled sockaddr back into a
+// netip.AddrPort, unmapping v4-in-v6 so demux keys match the send side.
+func addrFromSockaddr(name *[sockaddrLen]byte) netip.AddrPort {
+	switch binary.NativeEndian.Uint16(name[0:2]) {
+	case syscall.AF_INET:
+		var a4 [4]byte
+		copy(a4[:], name[4:8])
+		return netip.AddrPortFrom(netip.AddrFrom4(a4), binary.BigEndian.Uint16(name[2:4]))
+	case syscall.AF_INET6:
+		var a16 [16]byte
+		copy(a16[:], name[8:24])
+		return netip.AddrPortFrom(netip.AddrFrom16(a16).Unmap(), binary.BigEndian.Uint16(name[2:4]))
+	default:
+		return netip.AddrPort{}
+	}
+}
+
+// sendReady is the RawConn.Write callback: one non-blocking sendmmsg
+// attempt. Returning false parks the goroutine until the socket is
+// writable again.
+func (c *mmsgConn) sendReady(fd uintptr) bool {
+	n := len(c.sreqs)
+	if n > batchSize {
+		n = batchSize
+	}
+	for i := 0; i < n; i++ {
+		r := c.sreqs[i]
+		b := *r.buf
+		nl := c.putSockaddr(&c.snames[i], r.dest)
+		c.siovs[i] = syscall.Iovec{Base: &b[0]}
+		c.siovs[i].SetLen(len(b))
+		c.shdrs[i] = mmsghdr{Hdr: syscall.Msghdr{
+			Name:    &c.snames[i][0],
+			Namelen: nl,
+			Iov:     &c.siovs[i],
+			Iovlen:  1,
+		}}
+	}
+	r1, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+		uintptr(unsafe.Pointer(&c.shdrs[0])), uintptr(n),
+		syscall.MSG_DONTWAIT, 0, 0)
+	if errno == syscall.EAGAIN {
+		return false
+	}
+	if errno != 0 {
+		c.sn, c.serr = 0, errno
+		return true
+	}
+	c.sn, c.serr = int(r1), nil
+	return true
+}
+
+func (c *mmsgConn) sendBatch(reqs []sendReq) (int, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	c.sreqs, c.serr = reqs, nil
+	if err := c.rc.Write(c.sendFn); err != nil {
+		return 0, err
+	}
+	return c.sn, c.serr
+}
+
+// recvReady is the RawConn.Read callback: one non-blocking recvmmsg
+// attempt draining up to a full batch.
+func (c *mmsgConn) recvReady(fd uintptr) bool {
+	n := len(c.rbufs)
+	if n > batchSize {
+		n = batchSize
+	}
+	for i := 0; i < n; i++ {
+		b := c.rbufs[i]
+		c.riovs[i] = syscall.Iovec{Base: &b[0]}
+		c.riovs[i].SetLen(len(b))
+		c.rhdrs[i] = mmsghdr{Hdr: syscall.Msghdr{
+			Name:    &c.rnames[i][0],
+			Namelen: sockaddrLen,
+			Iov:     &c.riovs[i],
+			Iovlen:  1,
+		}}
+	}
+	r1, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+		uintptr(unsafe.Pointer(&c.rhdrs[0])), uintptr(n),
+		syscall.MSG_DONTWAIT, 0, 0)
+	if errno == syscall.EAGAIN {
+		return false
+	}
+	if errno != 0 {
+		c.rn, c.rerr = 0, errno
+		return true
+	}
+	c.rn, c.rerr = int(r1), nil
+	return true
+}
+
+func (c *mmsgConn) recvBatch(bufs [][]byte, sizes []int, addrs []netip.AddrPort) (int, error) {
+	c.rbufs, c.rerr = bufs, nil
+	if err := c.rc.Read(c.recvFn); err != nil {
+		return 0, err
+	}
+	if c.rerr != nil {
+		return 0, c.rerr
+	}
+	for i := 0; i < c.rn; i++ {
+		sizes[i] = int(c.rhdrs[i].Len)
+		addrs[i] = addrFromSockaddr(&c.rnames[i])
+	}
+	return c.rn, nil
+}

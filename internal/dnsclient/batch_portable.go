@@ -1,0 +1,9 @@
+//go:build !linux || !(amd64 || arm64)
+
+package dnsclient
+
+import "net"
+
+// newBatchConn reports batching unsupported on this platform; the shard
+// falls back to single-packet I/O behind the same interface.
+func newBatchConn(pc *net.UDPConn) batchConn { return nil }

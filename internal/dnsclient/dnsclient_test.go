@@ -89,9 +89,9 @@ func startEchoServer(t *testing.T) string {
 		Scope:      authority.ScopeFixed(24),
 	})
 	z := authority.NewZone("cli.test.", 60)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.7")})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.7")})
 	for i := 0; i < 80; i++ {
-		z.MustAdd(dnswire.RR{Name: "fat.cli.test.", Data: dnswire.ARData{
+		z.MustAdd(dnswire.RR{Name: "fat.cli.test.", Data: &dnswire.ARData{
 			Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)}),
 		}})
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,11 +19,18 @@ import (
 var (
 	ErrPipelineClosed = errors.New("dnsclient: pipeline closed")
 	ErrTimeout        = errors.New("dnsclient: query timed out")
+	errSendFailed     = errors.New("dnsclient: udp send failed")
 )
 
 // PipelineConfig tunes a Pipeline. The zero value is usable.
 type PipelineConfig struct {
-	// Sockets is the number of shared UDP sockets (default 4).
+	// Shards is the number of independent shards — each with its own UDP
+	// socket, transaction-ID space, and demux table (default GOMAXPROCS).
+	// Queries are spread across shards by a hash of (question,
+	// destination), so there is no cross-shard synchronization on the
+	// send/receive hot path.
+	Shards int
+	// Sockets is the legacy name for Shards, honored when Shards is 0.
 	Sockets int
 	// Timeout bounds each UDP attempt and the TCP fallback (default 3 s).
 	Timeout time.Duration
@@ -35,61 +44,170 @@ type PipelineConfig struct {
 	// truncated response is returned as-is and exhausted retries surface
 	// the last UDP error.
 	NoTCPFallback bool
+	// Batch coalesces sends and receives into sendmmsg/recvmmsg batch
+	// syscalls where the platform supports them (linux); elsewhere it is
+	// a no-op and the pipeline uses single-packet I/O.
+	Batch bool
 }
 
 // PipelineStats is a snapshot of a Pipeline's counters.
+//
+// Every submitted UDP attempt terminates in exactly one of Received,
+// Timeouts, Aborted, or SendErrors, so after all in-flight queries
+// drain
+//
+//	Sent == Received + Timeouts + Aborted + SendErrors
+//
+// — the accounting invariant the chaos tests assert under fault
+// injection. (Attempts cut off before submission — pipeline closed, or
+// ctx canceled while the batch queue was full — appear on neither
+// side.)
 type PipelineStats struct {
-	// Sent counts UDP datagrams written (one per attempt).
+	// Sent counts UDP attempts submitted for sending (one per attempt;
+	// kernel refusals are included here and show up in SendErrors).
 	Sent int64
-	// Received counts demuxed responses delivered to waiters.
+	// Received counts responses demuxed, validated, and delivered to
+	// their waiting query.
 	Received int64
 	// Retries counts UDP re-attempts.
 	Retries int64
 	// TCPFallbacks counts queries that moved to TCP.
 	TCPFallbacks int64
-	// Mismatched counts datagrams that matched no in-flight query
-	// (late, spoofed, or malformed).
+	// Mismatched counts datagrams that matched no in-flight query (late,
+	// spoofed, malformed) or failed waiter-side validation (corrupted
+	// response that landed on a live transaction ID).
 	Mismatched int64
 	// Timeouts counts UDP attempts that hit their per-attempt deadline.
 	Timeouts int64
+	// Aborted counts UDP attempts cut short by context cancellation.
+	Aborted int64
+	// SendErrors counts UDP attempts whose datagram the kernel refused.
+	SendErrors int64
 	// Truncated counts truncated responses received (whether they then
 	// moved to TCP or were returned as-is under NoTCPFallback).
 	Truncated int64
+	// TemplateHits counts queries packed from the wire-format template
+	// cache instead of a full encode.
+	TemplateHits int64
+	// Batches counts batch syscalls that carried more than one datagram.
+	Batches int64
 }
 
-// pendingKey identifies one in-flight query: responses are demuxed by
-// source address, transaction ID, and echoed question.
+// pendingKey identifies one in-flight query within a shard: responses
+// are demuxed by source address and transaction ID; the echoed question
+// is validated waiter-side after the full decode.
 type pendingKey struct {
-	dest string
+	dest netip.AddrPort
 	id   uint16
-	q    dnswire.Question
 }
 
-// Pipeline is the high-throughput counterpart of Client: instead of
-// dialing a fresh socket per attempt, it multiplexes many in-flight
-// queries over a small set of shared unconnected UDP sockets, demuxing
-// responses by (destination, ID, question) with per-query deadlines,
-// retry-with-backoff, and TCP fallback. All methods are safe for
-// concurrent use.
-type Pipeline struct {
-	cfg   PipelineConfig
-	conns []net.PacketConn
-	next  atomic.Uint64 // round-robin socket cursor
+// waiter is the rendezvous between one in-flight attempt and the shard
+// reader. The reader copies the raw response into buf and signals its
+// length on ch (or sendFailed); the waiting query decodes from buf.
+// Waiters are pooled; the shard-lock-ordered register/unregister
+// protocol guarantees at most one signal per registration, and the
+// waiter is only pooled after that signal has been consumed or provably
+// will never come.
+type waiter struct {
+	ch  chan int // response length, or sendFailed
+	buf []byte
+}
+
+// sendFailed on a waiter channel reports that the batched sender could
+// not hand the attempt's datagram to the kernel.
+const sendFailed = -1
+
+var waiterPool = sync.Pool{
+	New: func() any {
+		return &waiter{ch: make(chan int, 1), buf: make([]byte, 0, 2048)}
+	},
+}
+
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	t, ok := timerPool.Get().(*time.Timer)
+	if !ok {
+		return time.NewTimer(d)
+	}
+	t.Reset(d)
+	return t
+}
+
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// bufPool holds scratch buffers for packed queries.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// shard is one independent lane of the pipeline: its own socket, ID
+// space, demux table, and packed-query template cache. Nothing on the
+// send/receive hot path is shared between shards.
+type shard struct {
+	p  *Pipeline
+	pc *net.UDPConn
+	bc batchConn // non-nil when batch I/O is active for this shard
 
 	mu      sync.Mutex
 	rng     *rand.Rand
-	pending map[pendingKey]chan *dnswire.Message
-	closed  bool
+	pending map[pendingKey]*waiter
+
+	tpl templateCache
+
+	sendq chan sendReq  // non-nil when batch I/O is active
+	stopc chan struct{} // closed on pipeline Close
+}
+
+// sendReq is one datagram queued for the batched sender. buf is a
+// pooled copy owned by the sender from enqueue until release; key lets
+// a failed send be delivered back to the exact waiter it strands.
+type sendReq struct {
+	dest netip.AddrPort
+	key  pendingKey
+	buf  *[]byte
+}
+
+// Pipeline is the high-throughput counterpart of Client: a set of
+// per-CPU shards, each multiplexing many in-flight queries over its own
+// unconnected UDP socket, demuxing responses by (destination, ID) with
+// waiter-side question validation, per-query deadlines,
+// retry-with-backoff, and TCP fallback. All methods are safe for
+// concurrent use.
+type Pipeline struct {
+	cfg    PipelineConfig
+	shards []*shard
+	closed atomic.Bool
 
 	readers sync.WaitGroup
 
-	sent, received, retried, tcpFalls, mismatched, timeouts, truncated atomic.Int64
+	hostMu    sync.RWMutex
+	hostCache map[string]netip.AddrPort
+
+	sent, received, retried, tcpFalls, mismatched atomic.Int64
+	timeouts, aborted, sendErrors, truncated      atomic.Int64
+	templateHits, batches                         atomic.Int64
 }
 
-// NewPipeline opens the shared sockets and starts their reader loops.
+// NewPipeline opens one socket per shard and starts the reader (and,
+// with Batch, sender) loops.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
-	if cfg.Sockets <= 0 {
-		cfg.Sockets = 4
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.Sockets
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 3 * time.Second
@@ -98,41 +216,54 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 		cfg.Backoff = 100 * time.Millisecond
 	}
 	p := &Pipeline{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
-		pending: make(map[pendingKey]chan *dnswire.Message),
+		cfg:       cfg,
+		hostCache: make(map[string]netip.AddrPort),
 	}
-	for i := 0; i < cfg.Sockets; i++ {
-		pc, err := net.ListenPacket("udp", ":0")
+	for i := 0; i < cfg.Shards; i++ {
+		pc, err := net.ListenUDP("udp", nil)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("dnsclient: pipeline socket: %w", err)
 		}
-		p.conns = append(p.conns, pc)
+		s := &shard{
+			p:       p,
+			pc:      pc,
+			rng:     rand.New(rand.NewSource(time.Now().UnixNano() + int64(i)<<32)),
+			pending: make(map[pendingKey]*waiter),
+			stopc:   make(chan struct{}),
+		}
+		s.tpl.init()
+		if cfg.Batch {
+			s.bc = newBatchConn(pc)
+		}
+		p.shards = append(p.shards, s)
 		p.readers.Add(1)
-		go p.readLoop(pc)
+		go s.readLoop()
+		if s.bc != nil {
+			s.sendq = make(chan sendReq, 256)
+			p.readers.Add(1)
+			go s.sendLoop()
+		}
 	}
 	return p, nil
 }
 
-// Close shuts the sockets and waits for the reader loops. Queries still
+// Close shuts the sockets and waits for the shard loops. Queries still
 // in flight fail with their per-attempt timeout.
 func (p *Pipeline) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Swap(true) {
 		return nil
 	}
-	p.closed = true
-	p.mu.Unlock()
-	for _, pc := range p.conns {
-		pc.Close()
+	for _, s := range p.shards {
+		close(s.stopc)
+		s.pc.Close()
 	}
 	p.readers.Wait()
 	return nil
 }
 
-// Stats returns a snapshot of the pipeline counters.
+// Stats returns a snapshot of the pipeline counters, merged across
+// shards.
 func (p *Pipeline) Stats() PipelineStats {
 	return PipelineStats{
 		Sent:         p.sent.Load(),
@@ -141,14 +272,12 @@ func (p *Pipeline) Stats() PipelineStats {
 		TCPFallbacks: p.tcpFalls.Load(),
 		Mismatched:   p.mismatched.Load(),
 		Timeouts:     p.timeouts.Load(),
+		Aborted:      p.aborted.Load(),
+		SendErrors:   p.sendErrors.Load(),
 		Truncated:    p.truncated.Load(),
+		TemplateHits: p.templateHits.Load(),
+		Batches:      p.batches.Load(),
 	}
-}
-
-func (p *Pipeline) isClosed() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.closed
 }
 
 func (p *Pipeline) retries() int {
@@ -162,104 +291,316 @@ func (p *Pipeline) retries() int {
 	}
 }
 
-// readLoop demuxes datagrams arriving on one shared socket. A response
-// is delivered only to the waiter whose (destination, ID, question)
-// triple it echoes, which subsumes the serial client's validate():
-// spoofed or stale datagrams match no key and are dropped.
-func (p *Pipeline) readLoop(pc net.PacketConn) {
-	defer p.readers.Done()
+// unmapAP canonicalizes v4-in-v6 mapped addresses so pendingKeys built
+// on the send and receive sides always compare equal.
+func unmapAP(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
+// resolveDest turns "host:port" into a netip.AddrPort. Literal
+// addresses — the scan case — parse without allocation; hostnames go
+// through the resolver once and are cached (bounded, reset at cap).
+func (p *Pipeline) resolveDest(server string) (netip.AddrPort, error) {
+	if ap, err := netip.ParseAddrPort(server); err == nil {
+		return unmapAP(ap), nil
+	}
+	p.hostMu.RLock()
+	ap, ok := p.hostCache[server]
+	p.hostMu.RUnlock()
+	if ok {
+		return ap, nil
+	}
+	raddr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	ap = unmapAP(raddr.AddrPort())
+	p.hostMu.Lock()
+	if len(p.hostCache) >= 1024 {
+		clear(p.hostCache)
+	}
+	p.hostCache[server] = ap
+	p.hostMu.Unlock()
+	return ap, nil
+}
+
+// shardFor spreads queries across shards by an FNV-1a hash of the
+// question name and destination, keeping a query's retries on one
+// shard (same socket, same ID space) while adjacent queries fan out.
+func (p *Pipeline) shardFor(q dnswire.Question, dest netip.AddrPort) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(q.Name); i++ {
+		h ^= uint32(q.Name[i])
+		h *= 16777619
+	}
+	a16 := dest.Addr().As16()
+	for _, b := range a16 {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	h ^= uint32(dest.Port())
+	h *= 16777619
+	return p.shards[h%uint32(len(p.shards))]
+}
+
+// readLoop demuxes datagrams arriving on this shard's socket. It peeks
+// only the fixed header — the full decode happens on the waiter's
+// goroutine, against the waiter's reused Message — and hands the raw
+// bytes over through the waiter buffer.
+func (s *shard) readLoop() {
+	defer s.p.readers.Done()
+	if s.bc != nil {
+		s.batchReadLoop()
+		return
+	}
 	buf := make([]byte, 65535)
 	for {
-		n, raddr, err := pc.ReadFrom(buf)
+		n, ap, err := s.pc.ReadFromUDPAddrPort(buf)
 		if err != nil {
-			if p.isClosed() {
+			if s.p.closed.Load() {
 				return
 			}
 			continue
 		}
-		resp, err := dnswire.Unpack(buf[:n])
-		if err != nil || !resp.Response {
-			p.mismatched.Add(1)
-			continue
-		}
-		key := pendingKey{dest: raddr.String(), id: resp.ID, q: resp.Question()}
-		p.mu.Lock()
-		ch, ok := p.pending[key]
-		if ok {
-			delete(p.pending, key)
-		}
-		p.mu.Unlock()
-		if !ok {
-			p.mismatched.Add(1)
-			continue
-		}
-		p.received.Add(1)
-		ch <- resp // buffered; the key was removed, so this is the only send
+		s.deliver(buf[:n], ap)
 	}
 }
 
-// register allocates a transaction ID unique among in-flight queries to
-// the same destination and question, and installs the response channel.
-func (p *Pipeline) register(dest string, q dnswire.Question) (uint16, chan *dnswire.Message, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return 0, nil, ErrPipelineClosed
+// batchReadLoop is readLoop over recvmmsg: each wakeup drains up to a
+// full batch of datagrams from the socket before returning to the
+// poller.
+func (s *shard) batchReadLoop() {
+	bufs := make([][]byte, batchSize)
+	for i := range bufs {
+		bufs[i] = make([]byte, 65535)
+	}
+	addrs := make([]netip.AddrPort, batchSize)
+	sizes := make([]int, batchSize)
+	for {
+		n, err := s.bc.recvBatch(bufs, sizes, addrs)
+		if err != nil {
+			if s.p.closed.Load() {
+				return
+			}
+			continue
+		}
+		if n > 1 {
+			s.p.batches.Add(1)
+		}
+		for i := 0; i < n; i++ {
+			s.deliver(bufs[i][:sizes[i]], addrs[i])
+		}
+	}
+}
+
+// deliver routes one raw datagram to the waiter registered under its
+// (source, ID) — copying the bytes into the waiter's buffer, never
+// parsing past the header on the reader goroutine.
+func (s *shard) deliver(b []byte, ap netip.AddrPort) {
+	id, isResponse, ok := dnswire.PeekHeader(b)
+	if !ok || !isResponse {
+		s.p.mismatched.Add(1)
+		return
+	}
+	key := pendingKey{dest: unmapAP(ap), id: id}
+	s.mu.Lock()
+	w, ok := s.pending[key]
+	if ok {
+		delete(s.pending, key)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.p.mismatched.Add(1)
+		return
+	}
+	w.buf = append(w.buf[:0], b...)
+	w.ch <- len(w.buf) // buffered; the key was removed, so this is the only signal
+}
+
+// register allocates a transaction ID unique among this shard's
+// in-flight queries to the same destination and installs the waiter.
+func (s *shard) register(dest netip.AddrPort, w *waiter) (uint16, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.p.closed.Load() {
+		return 0, ErrPipelineClosed
 	}
 	for tries := 0; tries < 256; tries++ {
-		id := uint16(p.rng.Intn(1 << 16))
-		key := pendingKey{dest: dest, id: id, q: q}
-		if _, busy := p.pending[key]; busy {
+		id := uint16(s.rng.Intn(1 << 16))
+		key := pendingKey{dest: dest, id: id}
+		if _, busy := s.pending[key]; busy {
 			continue
 		}
-		ch := make(chan *dnswire.Message, 1)
-		p.pending[key] = ch
-		return id, ch, nil
+		s.pending[key] = w
+		return id, nil
 	}
-	return 0, nil, fmt.Errorf("dnsclient: no free query ID for %s %s", dest, q)
+	return 0, fmt.Errorf("dnsclient: no free query ID for %s", dest)
 }
 
-func (p *Pipeline) unregister(dest string, id uint16, q dnswire.Question) {
-	p.mu.Lock()
-	delete(p.pending, pendingKey{dest: dest, id: id, q: q})
-	p.mu.Unlock()
+// reregister reinstalls a waiter under its previous key after a
+// delivered-but-invalid response, so the attempt can keep waiting for
+// the real answer. It fails if the ID has been reused meanwhile.
+func (s *shard) reregister(key pendingKey, w *waiter) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.p.closed.Load() {
+		return false
+	}
+	if _, busy := s.pending[key]; busy {
+		return false
+	}
+	s.pending[key] = w
+	return true
+}
+
+// unregister removes the key and reports whether it was still present.
+// A false return means the reader (or failed sender) has already taken
+// the key and a signal on the waiter channel is imminent or delivered:
+// the caller must consume it before releasing the waiter.
+func (s *shard) unregister(key pendingKey) bool {
+	s.mu.Lock()
+	_, ok := s.pending[key]
+	if ok {
+		delete(s.pending, key)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// failSend delivers a send failure to the waiter registered under key,
+// mirroring deliver: the key is removed under the shard lock, so the
+// waiter sees exactly one of {response, send failure, nothing}.
+func (s *shard) failSend(key pendingKey) {
+	s.mu.Lock()
+	w, ok := s.pending[key]
+	if ok {
+		delete(s.pending, key)
+	}
+	s.mu.Unlock()
+	if ok {
+		w.ch <- sendFailed
+	}
+}
+
+// sendLoop drains the shard's send queue, coalescing waiting datagrams
+// into sendmmsg batches.
+func (s *shard) sendLoop() {
+	defer s.p.readers.Done()
+	reqs := make([]sendReq, 0, batchSize)
+	for {
+		reqs = reqs[:0]
+		select {
+		case <-s.stopc:
+			return
+		case r := <-s.sendq:
+			reqs = append(reqs, r)
+		}
+		// Coalesce whatever else is already queued, without blocking.
+	drain:
+		for len(reqs) < batchSize {
+			select {
+			case r := <-s.sendq:
+				reqs = append(reqs, r)
+			default:
+				break drain
+			}
+		}
+		if len(reqs) > 1 {
+			s.p.batches.Add(1)
+		}
+		s.flush(reqs)
+	}
+}
+
+// flush writes the queued datagrams with as few syscalls as the
+// platform allows, then settles accounting and releases the buffers.
+// (Sent was counted at enqueue time; failures surface to the stranded
+// waiters, which count SendErrors.)
+func (s *shard) flush(reqs []sendReq) {
+	// sendmmsg reports how many leading messages the kernel took; an
+	// error describes only the first unsent message. Retry the tail so a
+	// partial send or one bad destination never strands the rest.
+	for off := 0; off < len(reqs); {
+		sent, err := s.bc.sendBatch(reqs[off:])
+		off += sent
+		if err != nil && sent == 0 {
+			s.failSend(reqs[off].key)
+			off++
+		}
+	}
+	for _, r := range reqs {
+		b := *r.buf
+		*r.buf = b[:0]
+		bufPool.Put(r.buf)
+	}
 }
 
 // Exchange sends q to server ("host:port") and waits for the matching
 // response, retrying over UDP with backoff and falling back to TCP on
 // truncation or UDP exhaustion (unless NoTCPFallback). The pipeline owns
 // transaction IDs: q.ID is overwritten with a fresh ID per attempt,
-// guaranteed unique among in-flight queries to the same destination and
-// question. ctx cancellation aborts promptly.
+// guaranteed unique among in-flight queries to the same destination on
+// the query's shard. ctx cancellation aborts promptly.
 func (p *Pipeline) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
-	raddr, err := net.ResolveUDPAddr("udp", server)
-	if err != nil {
+	resp := &dnswire.Message{}
+	if err := p.ExchangeInto(ctx, server, q, resp); err != nil {
 		return nil, err
 	}
-	dest := raddr.String()
-	data, err := q.Pack()
-	if err != nil {
-		return nil, err
+	return resp, nil
+}
+
+// ExchangeInto is Exchange decoding into a caller-owned Message, the
+// zero-allocation hot path: with a reused resp, the steady-state UDP
+// round trip performs no heap allocations. resp's previous contents are
+// overwritten per the UnpackInto reuse contract.
+func (p *Pipeline) ExchangeInto(ctx context.Context, server string, q *dnswire.Message, resp *dnswire.Message) error {
+	if p.closed.Load() {
+		return ErrPipelineClosed
 	}
+	dest, err := p.resolveDest(server)
+	if err != nil {
+		return err
+	}
+	question := q.Question()
+	s := p.shardFor(question, dest)
+
+	bp := bufPool.Get().(*[]byte)
+	data, hit, err := s.tpl.pack(q, (*bp)[:0])
+	if err != nil {
+		bufPool.Put(bp)
+		return err
+	}
+	if hit {
+		p.templateHits.Add(1)
+	}
+	*bp = data[:0] // data may have outgrown the pooled backing array
+	defer bufPool.Put(bp)
+
 	backoff := p.cfg.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= p.retries(); attempt++ {
 		if attempt > 0 {
 			p.retried.Add(1)
+			t := acquireTimer(backoff)
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
+				releaseTimer(t)
+				return ctx.Err()
+			case <-t.C:
 			}
+			releaseTimer(t)
 			backoff *= 2
 		}
-		resp, err := p.attempt(ctx, raddr, dest, q, data)
+		err := s.attempt(ctx, dest, question, q, data, resp)
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
 			if errors.Is(err, ErrPipelineClosed) {
-				return nil, err
+				return err
 			}
 			lastErr = err
 			continue
@@ -267,57 +608,171 @@ func (p *Pipeline) Exchange(ctx context.Context, server string, q *dnswire.Messa
 		if resp.Truncated {
 			p.truncated.Add(1)
 			if p.cfg.NoTCPFallback {
-				return resp, nil
+				return nil
 			}
 			p.tcpFalls.Add(1)
-			return p.exchangeTCP(ctx, server, q)
+			return p.exchangeTCP(ctx, server, q, resp)
 		}
-		return resp, nil
+		return nil
 	}
 	if p.cfg.NoTCPFallback {
-		return nil, lastErr
+		return lastErr
 	}
 	p.tcpFalls.Add(1)
-	return p.exchangeTCP(ctx, server, q)
+	return p.exchangeTCP(ctx, server, q, resp)
 }
 
-// attempt registers one in-flight entry, fires the datagram on the next
-// shared socket, and waits for the demuxed response or the deadline.
-func (p *Pipeline) attempt(ctx context.Context, raddr *net.UDPAddr, dest string, q *dnswire.Message, data []byte) (*dnswire.Message, error) {
-	question := q.Question()
-	id, ch, err := p.register(dest, question)
+// attempt registers one in-flight entry, fires the datagram, and waits
+// for the demuxed response or the deadline. The raw response is decoded
+// and validated here, on the waiting goroutine — a corrupted or
+// colliding datagram re-registers the entry and keeps waiting.
+func (s *shard) attempt(ctx context.Context, dest netip.AddrPort, question dnswire.Question, q *dnswire.Message, data []byte, resp *dnswire.Message) error {
+	w := waiterPool.Get().(*waiter)
+	id, err := s.register(dest, w)
 	if err != nil {
-		return nil, err
+		waiterPool.Put(w)
+		return err
 	}
-	defer p.unregister(dest, id, question)
+	key := pendingKey{dest: dest, id: id}
 	q.ID = id
 	dnswire.PatchID(data, id)
-	pc := p.conns[p.next.Add(1)%uint64(len(p.conns))]
-	//ecslint:ignore ctxflow a UDP datagram send does not block on the peer; the cancellable wait happens in the select on ch below
-	if _, err := pc.WriteTo(data, raddr); err != nil {
-		return nil, err
+
+	if s.sendq != nil {
+		// Batched path: copy the datagram (the sender outlives this
+		// attempt's ownership of data) and enqueue it.
+		sb := bufPool.Get().(*[]byte)
+		*sb = append((*sb)[:0], data...)
+		select {
+		case s.sendq <- sendReq{dest: dest, key: key, buf: sb}:
+			s.p.sent.Add(1)
+		case <-ctx.Done():
+			// Not submitted: the attempt appears on neither side of the
+			// accounting invariant.
+			*sb = (*sb)[:0]
+			bufPool.Put(sb)
+			if s.unregister(key) {
+				waiterPool.Put(w)
+			} else {
+				//ecslint:ignore ctxflow the reader has already committed a delivery to this waiter; the bounded drain must finish before pooling, after ctx cancellation was already observed
+				s.consume(w)
+			}
+			return ctx.Err()
+		}
+	} else {
+		s.p.sent.Add(1)
+		//ecslint:ignore ctxflow a UDP datagram send does not block on the peer; the cancellable wait happens in the select below
+		if _, err := s.pc.WriteToUDPAddrPort(data, dest); err != nil {
+			if s.unregister(key) {
+				waiterPool.Put(w)
+			} else {
+				//ecslint:ignore ctxflow the reader has already committed a delivery to this waiter; the bounded drain must finish before the waiter can be pooled
+				s.consume(w)
+			}
+			s.p.sendErrors.Add(1)
+			return fmt.Errorf("%w: %v", errSendFailed, err)
+		}
 	}
-	p.sent.Add(1)
-	timer := time.NewTimer(p.cfg.Timeout)
-	defer timer.Stop()
-	select {
-	case resp := <-ch:
-		return resp, nil
-	case <-timer.C:
-		p.timeouts.Add(1)
-		return nil, fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
-	case <-ctx.Done():
-		return nil, ctx.Err()
+
+	timer := acquireTimer(s.p.cfg.Timeout)
+	defer releaseTimer(timer)
+	for {
+		select {
+		case n := <-w.ch:
+			if n == sendFailed {
+				s.p.sendErrors.Add(1)
+				s.release(w)
+				return errSendFailed
+			}
+			ok, err := s.decodeInto(w, n, question, resp)
+			if ok {
+				s.release(w)
+				return err
+			}
+			// Delivered but invalid: count it, put the entry back, and
+			// keep waiting out the attempt deadline.
+			s.p.mismatched.Add(1)
+			if !s.reregister(key, w) {
+				s.p.timeouts.Add(1)
+				s.release(w)
+				return fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
+			}
+		case <-timer.C:
+			if s.unregister(key) {
+				s.p.timeouts.Add(1)
+				s.release(w)
+				return fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
+			}
+			// Lost the race: a delivery is in flight. Consume it and
+			// treat it as having arrived in time.
+			//ecslint:ignore ctxflow the reader has already committed this delivery with no intervening I/O; the receive completes promptly and must happen before the waiter can be pooled
+			n := <-w.ch
+			if n == sendFailed {
+				s.p.sendErrors.Add(1)
+				s.release(w)
+				return errSendFailed
+			}
+			ok, err := s.decodeInto(w, n, question, resp)
+			if ok {
+				s.release(w)
+				return err
+			}
+			s.p.mismatched.Add(1)
+			s.p.timeouts.Add(1)
+			s.release(w)
+			return fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
+		case <-ctx.Done():
+			return s.abort(key, w, ctx.Err())
+		}
 	}
+}
+
+// abort settles an attempt cut short by context cancellation.
+func (s *shard) abort(key pendingKey, w *waiter, err error) error {
+	s.p.aborted.Add(1)
+	if s.unregister(key) {
+		waiterPool.Put(w)
+	} else {
+		s.consume(w)
+	}
+	return err
+}
+
+// consume drains the in-flight signal the reader (or sender) committed
+// to this waiter, then pools it. Only call after unregister returned
+// false.
+func (s *shard) consume(w *waiter) {
+	//ecslint:ignore ctxflow the reader has already committed this delivery with no intervening I/O; the receive completes promptly and must happen before the waiter can be pooled
+	<-w.ch
+	waiterPool.Put(w)
+}
+
+// release pools a waiter whose signal has been consumed.
+func (s *shard) release(w *waiter) {
+	waiterPool.Put(w)
+}
+
+// decodeInto parses the delivered datagram into resp and validates that
+// it answers this attempt's question. ok reports whether the attempt is
+// settled: false means the datagram was not a valid answer (undecodable
+// or echoing a different question) and the attempt should keep waiting.
+func (s *shard) decodeInto(w *waiter, n int, question dnswire.Question, resp *dnswire.Message) (bool, error) {
+	if err := dnswire.UnpackInto(resp, w.buf[:n]); err != nil {
+		return false, nil
+	}
+	if !resp.Response || resp.Question() != question {
+		return false, nil
+	}
+	s.p.received.Add(1)
+	return true, nil
 }
 
 // exchangeTCP runs the fallback on a per-query TCP connection, bounded
 // by the pipeline timeout and any earlier ctx deadline.
-func (p *Pipeline) exchangeTCP(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+func (p *Pipeline) exchangeTCP(ctx context.Context, server string, q *dnswire.Message, resp *dnswire.Message) error {
 	d := net.Dialer{Timeout: p.cfg.Timeout}
 	conn, err := d.DialContext(ctx, "tcp", server)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer conn.Close()
 	deadline := time.Now().Add(p.cfg.Timeout)
@@ -327,18 +782,17 @@ func (p *Pipeline) exchangeTCP(ctx context.Context, server string, q *dnswire.Me
 	conn.SetDeadline(deadline)
 	data, err := q.Pack() // re-pack: attempts rewrote the ID
 	if err != nil {
-		return nil, err
+		return err
 	}
 	respData, err := tcpRoundTrip(conn, data)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m, err := dnswire.Unpack(respData)
-	if err != nil {
-		return nil, err
+	if err := dnswire.UnpackInto(resp, respData); err != nil {
+		return err
 	}
-	if err := validate(q, m); err != nil {
-		return nil, err
+	if err := validate(q, resp); err != nil {
+		return err
 	}
-	return m, nil
+	return nil
 }

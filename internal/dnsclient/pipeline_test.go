@@ -46,12 +46,12 @@ func (h *nameHashHandler) HandleDNS(_ netip.Addr, q *dnswire.Message) *dnswire.M
 	}
 	resp := dnswire.NewResponse(q)
 	resp.Answers = append(resp.Answers, dnswire.RR{
-		Name: name, TTL: 60, Data: dnswire.ARData{Addr: hashAddr(name)},
+		Name: name, TTL: 60, Data: &dnswire.ARData{Addr: hashAddr(name)},
 	})
 	for i := 0; i < h.pad; i++ {
 		resp.Answers = append(resp.Answers, dnswire.RR{
 			Name: name, TTL: 60,
-			Data: dnswire.ARData{Addr: netip.AddrFrom4([4]byte{10, 99, byte(i >> 8), byte(i)})},
+			Data: &dnswire.ARData{Addr: netip.AddrFrom4([4]byte{10, 99, byte(i >> 8), byte(i)})},
 		})
 	}
 	return resp
@@ -122,7 +122,7 @@ func TestPipelineConcurrentDemux(t *testing.T) {
 				errs <- ErrMismatch
 				return
 			}
-			if got := resp.Answers[0].Data.(dnswire.ARData).Addr; got != hashAddr(name) {
+			if got := resp.Answers[0].Data.(*dnswire.ARData).Addr; got != hashAddr(name) {
 				errs <- ErrMismatch // crossed wires: answer for another name
 				return
 			}

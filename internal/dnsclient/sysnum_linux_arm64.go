@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package dnsclient
+
+// sysSENDMMSG is sendmmsg's syscall number, absent from the frozen
+// syscall package table.
+const sysSENDMMSG = 269

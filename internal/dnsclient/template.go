@@ -1,0 +1,138 @@
+package dnsclient
+
+import (
+	"bytes"
+	"sync"
+
+	"ecsdns/internal/dnswire"
+)
+
+// templateCap bounds each shard's template map; at the cap the map is
+// cleared wholesale (retaining its buckets) rather than tracking LRU —
+// scan workloads re-warm it in one round.
+const templateCap = 4096
+
+// template is one cached packed query: the wire bytes of a previous
+// pack of the same question, plus the shape information needed to
+// verify a new query really is the same message modulo transaction ID
+// and ECS payload.
+type template struct {
+	hdr  dnswire.Header // ID zeroed
+	edns *dnswire.EDNS  // deep copy; nil when the query had none
+	wire []byte
+	// ecsOff/ecsLen locate the ECS option data inside wire so a hit with
+	// a different same-length client subnet patches bytes instead of
+	// re-packing. ecsLen is 0 when the template has no ECS option.
+	ecsOff, ecsLen int
+}
+
+// templateCache caches packed query wire images per question, so the
+// steady-state send path is a memcpy plus an ID (and possibly ECS)
+// patch instead of a full encode. Each pipeline shard owns one, keeping
+// the lock off the cross-shard path.
+type templateCache struct {
+	mu sync.RWMutex
+	m  map[dnswire.Question]*template
+}
+
+func (tc *templateCache) init() {
+	tc.m = make(map[dnswire.Question]*template)
+}
+
+// pack appends the wire form of q to buf, from the cache when the
+// cached shape provably matches. hit reports whether the cache served
+// the bytes.
+func (tc *templateCache) pack(q *dnswire.Message, buf []byte) (out []byte, hit bool, err error) {
+	if len(q.Questions) != 1 ||
+		len(q.Answers)+len(q.Authorities)+len(q.Additionals) != 0 {
+		out, err = q.AppendPack(buf)
+		return out, false, err
+	}
+	key := q.Questions[0]
+	tc.mu.RLock()
+	t := tc.m[key]
+	if t != nil && t.match(q) {
+		out = append(buf, t.wire...)
+		if t.ecsLen > 0 {
+			base := len(out) - len(t.wire)
+			if opt, ok := q.EDNS.Option(dnswire.OptionCodeECS); ok {
+				copy(out[base+t.ecsOff:base+t.ecsOff+t.ecsLen], opt.Data)
+			}
+		}
+		tc.mu.RUnlock()
+		return out, true, nil
+	}
+	tc.mu.RUnlock()
+	out, err = q.AppendPack(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	tc.install(key, q, out)
+	return out, false, nil
+}
+
+// match reports whether q would pack to t.wire modulo the transaction
+// ID and the ECS option payload.
+func (t *template) match(q *dnswire.Message) bool {
+	h := q.Header
+	h.ID = 0
+	if h != t.hdr {
+		return false
+	}
+	switch {
+	case q.EDNS == nil && t.edns == nil:
+		return true
+	case q.EDNS == nil || t.edns == nil:
+		return false
+	}
+	a, b := q.EDNS, t.edns
+	if a.UDPSize != b.UDPSize || a.Version != b.Version || a.DO != b.DO ||
+		len(a.Options) != len(b.Options) {
+		return false
+	}
+	for i := range a.Options {
+		ao, bo := a.Options[i], b.Options[i]
+		if ao.Code != bo.Code || len(ao.Data) != len(bo.Data) {
+			return false
+		}
+		// The ECS payload is patchable; anything else must be identical.
+		if ao.Code != dnswire.OptionCodeECS && !bytes.Equal(ao.Data, bo.Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// install records the packed image of q (overwriting any previous
+// template for the question). Misses are cold, so the deep copies here
+// are off the hot path.
+func (tc *templateCache) install(key dnswire.Question, q *dnswire.Message, packed []byte) {
+	t := &template{
+		hdr:  q.Header,
+		wire: append([]byte(nil), packed...),
+	}
+	t.hdr.ID = 0
+	dnswire.PatchID(t.wire, 0)
+	if q.EDNS != nil {
+		e := &dnswire.EDNS{
+			UDPSize: q.EDNS.UDPSize,
+			Version: q.EDNS.Version,
+			DO:      q.EDNS.DO,
+		}
+		for _, o := range q.EDNS.Options {
+			e.Options = append(e.Options, dnswire.Option{
+				Code: o.Code, Data: append([]byte(nil), o.Data...),
+			})
+		}
+		t.edns = e
+		if off, n, ok := dnswire.FindOption(t.wire, dnswire.OptionCodeECS); ok {
+			t.ecsOff, t.ecsLen = off, n
+		}
+	}
+	tc.mu.Lock()
+	if len(tc.m) >= templateCap {
+		clear(tc.m)
+	}
+	tc.m[key] = t
+	tc.mu.Unlock()
+}

@@ -110,11 +110,25 @@ type Server struct {
 	stats counters
 }
 
-// udpPacket is one received datagram queued for the worker pool.
+// udpPacket is one received datagram queued for the worker pool. bp is
+// the pooled backing buffer pkt lives in; the worker returns it to
+// udpBufPool once the packet has been served.
 type udpPacket struct {
 	pkt   []byte
+	bp    *[]byte
 	raddr net.Addr
 	from  netip.AddrPort
+}
+
+// udpBufPool recycles the per-datagram copies the UDP read loop hands
+// to the worker pool, and the response buffers workers pack into —
+// the two per-query allocations that would otherwise dominate the
+// serving hot path.
+var udpBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
 }
 
 // New creates a server for the handler.
@@ -323,11 +337,12 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 			continue
 		}
 		s.stats.received.Add(1)
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
+		bp := udpBufPool.Get().(*[]byte)
+		pkt := append((*bp)[:0], buf[:n]...)
+		*bp = pkt
 		from := raddr.(*net.UDPAddr).AddrPort()
 		select {
-		case s.queue <- udpPacket{pkt: pkt, raddr: raddr, from: from}:
+		case s.queue <- udpPacket{pkt: pkt, bp: bp, raddr: raddr, from: from}:
 		default:
 			// Admission control: the pool is saturated. Shed per the
 			// configured policy instead of queueing unbounded work.
@@ -337,6 +352,7 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 					pc.WriteTo(data, raddr)
 				}
 			}
+			udpBufPool.Put(bp)
 		}
 	}
 }
@@ -349,6 +365,7 @@ func (s *Server) udpWorker(pc net.PacketConn) {
 		s.stats.inflight.Add(1)
 		s.serveUDPPacket(pc, p)
 		s.stats.inflight.Add(-1)
+		udpBufPool.Put(p.bp)
 	}
 }
 
@@ -381,11 +398,15 @@ func (s *Server) serveUDPPacket(pc net.PacketConn, p udpPacket) {
 	if query != nil && query.EDNS != nil && int(query.EDNS.UDPSize) > limit {
 		limit = int(query.EDNS.UDPSize)
 	}
-	data, err := resp.TruncateTo(limit)
+	rb := udpBufPool.Get().(*[]byte)
+	data, err := resp.AppendTruncateTo((*rb)[:0], limit)
 	if err != nil {
+		udpBufPool.Put(rb)
 		return
 	}
 	pc.WriteTo(data, p.raddr)
+	*rb = data[:0] // keep any growth for the next response
+	udpBufPool.Put(rb)
 }
 
 // admitConn registers a new TCP connection unless the server is closed

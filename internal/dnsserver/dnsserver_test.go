@@ -21,10 +21,10 @@ func startTestServer(t *testing.T, big bool) (string, *authority.Server) {
 		Scope:      authority.ScopeSourceMinus(4),
 	})
 	z := authority.NewZone("zone.test.", 60)
-	z.MustAdd(dnswire.RR{Name: "www.zone.test.", Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.44")}})
+	z.MustAdd(dnswire.RR{Name: "www.zone.test.", Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.44")}})
 	if big {
 		for i := 0; i < 120; i++ {
-			z.MustAdd(dnswire.RR{Name: "big.zone.test.", Data: dnswire.ARData{
+			z.MustAdd(dnswire.RR{Name: "big.zone.test.", Data: &dnswire.ARData{
 				Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)}),
 			}})
 		}
@@ -49,7 +49,7 @@ func TestUDPRoundTrip(t *testing.T) {
 	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
 		t.Fatalf("response: %v", resp)
 	}
-	if got := resp.Answers[0].Data.(dnswire.ARData).Addr; got != netip.MustParseAddr("192.0.2.44") {
+	if got := resp.Answers[0].Data.(*dnswire.ARData).Addr; got != netip.MustParseAddr("192.0.2.44") {
 		t.Fatalf("answer = %s", got)
 	}
 }
@@ -181,7 +181,7 @@ func (h *dropFirstHandler) HandleDNS(_ netip.Addr, q *dnswire.Message) *dnswire.
 	for i := 0; i < 120; i++ {
 		resp.Answers = append(resp.Answers, dnswire.RR{
 			Name: name, TTL: 60,
-			Data: dnswire.ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
+			Data: &dnswire.ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
 		})
 	}
 	return resp
@@ -222,7 +222,7 @@ func TestUDPRetryTruncationTCPFallback(t *testing.T) {
 func TestCloseDuringTraffic(t *testing.T) {
 	auth := authority.NewServer(authority.Config{})
 	z := authority.NewZone("zone.test.", 60)
-	z.MustAdd(dnswire.RR{Name: "www.zone.test.", Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.44")}})
+	z.MustAdd(dnswire.RR{Name: "www.zone.test.", Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.44")}})
 	auth.AddZone(z)
 	srv := New(auth)
 	bound, err := srv.Start("127.0.0.1:0")

@@ -29,7 +29,7 @@ func answering() handlerFunc {
 		resp := dnswire.NewResponse(q)
 		resp.Answers = append(resp.Answers, dnswire.RR{
 			Name: q.Questions[0].Name, TTL: 30,
-			Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+			Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
 		})
 		return resp
 	}

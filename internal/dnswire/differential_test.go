@@ -1,0 +1,246 @@
+package dnswire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// The differential tests pin the contract stated on AppendPack and
+// UnpackInto: the fast append/reuse paths must be observably identical
+// to Pack and Unpack for every input — byte-identical wire output,
+// reflect.DeepEqual structs, and the same errors — including when the
+// reused Message is dirty with the remains of a previous, differently
+// shaped decode.
+
+var diffLabels = []string{
+	"a", "ns1", "scan", "example", "org", "net", "cdn", "edge",
+	"very-long-label-padding-padding", "xy", "t0",
+}
+
+func randDiffName(r *rand.Rand) Name {
+	if r.Intn(12) == 0 {
+		return Root
+	}
+	depth := 1 + r.Intn(4)
+	var b []byte
+	for i := 0; i < depth; i++ {
+		b = append(b, diffLabels[r.Intn(len(diffLabels))]...)
+		b = append(b, '.')
+	}
+	return Name(b)
+}
+
+func randDiffRData(r *rand.Rand) RData {
+	switch r.Intn(9) {
+	case 0:
+		var a [4]byte
+		r.Read(a[:])
+		return &ARData{Addr: netip.AddrFrom4(a)}
+	case 1:
+		var a [16]byte
+		r.Read(a[:])
+		return &AAAARData{Addr: netip.AddrFrom16(a)}
+	case 2:
+		return &CNAMERData{Target: randDiffName(r)}
+	case 3:
+		return &NSRData{Host: randDiffName(r)}
+	case 4:
+		return &PTRRData{Target: randDiffName(r)}
+	case 5:
+		return &MXRData{Preference: uint16(r.Uint32()), Host: randDiffName(r)}
+	case 6:
+		n := r.Intn(3)
+		var ss []string
+		for i := 0; i < n; i++ {
+			buf := make([]byte, r.Intn(20))
+			r.Read(buf)
+			ss = append(ss, string(buf))
+		}
+		return &TXTRData{Strings: ss}
+	case 7:
+		return &SOARData{
+			MName: randDiffName(r), RName: randDiffName(r),
+			Serial: r.Uint32(), Refresh: r.Uint32(), Retry: r.Uint32(),
+			Expire: r.Uint32(), Minimum: r.Uint32(),
+		}
+	default:
+		raw := make([]byte, r.Intn(24))
+		r.Read(raw)
+		if len(raw) == 0 {
+			raw = nil
+		}
+		return &UnknownRData{T: Type(200 + r.Intn(50)), Raw: raw}
+	}
+}
+
+func randDiffRR(r *rand.Rand) RR {
+	return RR{
+		Name:  randDiffName(r),
+		Class: ClassINET,
+		TTL:   uint32(r.Intn(86400)),
+		Data:  randDiffRData(r),
+	}
+}
+
+func randDiffMessage(r *rand.Rand) *Message {
+	m := &Message{
+		Header: Header{
+			ID:                 uint16(r.Uint32()),
+			Response:           r.Intn(2) == 0,
+			OpCode:             OpCode(r.Intn(3)),
+			Authoritative:      r.Intn(2) == 0,
+			Truncated:          r.Intn(4) == 0,
+			RecursionDesired:   r.Intn(2) == 0,
+			RecursionAvailable: r.Intn(2) == 0,
+			AuthenticData:      r.Intn(4) == 0,
+			CheckingDisabled:   r.Intn(4) == 0,
+			RCode:              RCode(r.Intn(16)),
+		},
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		m.Questions = append(m.Questions, Question{
+			Name: randDiffName(r), Type: TypeA, Class: ClassINET,
+		})
+	}
+	for i := r.Intn(4); i > 0; i-- {
+		m.Answers = append(m.Answers, randDiffRR(r))
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		m.Authorities = append(m.Authorities, randDiffRR(r))
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		m.Additionals = append(m.Additionals, randDiffRR(r))
+	}
+	if r.Intn(2) == 0 {
+		e := &EDNS{
+			UDPSize: uint16(512 + r.Intn(4096)),
+			Version: uint8(r.Intn(2)),
+			DO:      r.Intn(2) == 0,
+		}
+		for i := r.Intn(3); i > 0; i-- {
+			data := make([]byte, r.Intn(12))
+			r.Read(data)
+			if len(data) == 0 {
+				data = nil
+			}
+			e.Options = append(e.Options, Option{Code: uint16(r.Intn(16)), Data: data})
+		}
+		m.EDNS = e
+		// Extended rcodes only survive a round trip when an OPT is
+		// present to carry the upper bits.
+		if r.Intn(4) == 0 {
+			m.RCode = RCode(r.Intn(4096))
+		}
+	}
+	return m
+}
+
+// diffCheckPack asserts Pack and AppendPack (bare, and behind a junk
+// prefix) agree for m, returning the wire bytes when packing succeeded.
+func diffCheckPack(t *testing.T, m *Message) []byte {
+	t.Helper()
+	want, errWant := m.Pack()
+
+	got, errGot := m.AppendPack(nil)
+	if (errWant == nil) != (errGot == nil) {
+		t.Fatalf("Pack err=%v AppendPack err=%v", errWant, errGot)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("AppendPack(nil) differs from Pack:\n  pack   %x\n  append %x", want, got)
+	}
+
+	prefix := []byte("\xff\x00junk")
+	got2, errGot2 := m.AppendPack(prefix)
+	if (errWant == nil) != (errGot2 == nil) {
+		t.Fatalf("Pack err=%v AppendPack(prefix) err=%v", errWant, errGot2)
+	}
+	if errWant == nil {
+		if !bytes.Equal(got2[:len(prefix)], prefix) {
+			t.Fatalf("AppendPack clobbered its prefix: %x", got2[:len(prefix)])
+		}
+		if !bytes.Equal(want, got2[len(prefix):]) {
+			t.Fatalf("AppendPack behind prefix differs from Pack:\n  pack   %x\n  append %x",
+				want, got2[len(prefix):])
+		}
+	}
+	return want
+}
+
+// diffCheckUnpack asserts Unpack and UnpackInto-into-dirty agree for the
+// given wire bytes. dirty is decoded-into as-is (its previous contents
+// are the point) and returned for the next round.
+func diffCheckUnpack(t *testing.T, wire []byte, dirty *Message) *Message {
+	t.Helper()
+	fresh, errFresh := Unpack(wire)
+	errReuse := UnpackInto(dirty, wire)
+	if (errFresh == nil) != (errReuse == nil) {
+		t.Fatalf("Unpack err=%v UnpackInto err=%v (wire %x)", errFresh, errReuse, wire)
+	}
+	if errFresh != nil {
+		if errFresh != errReuse {
+			t.Fatalf("error mismatch: Unpack %v, UnpackInto %v (wire %x)", errFresh, errReuse, wire)
+		}
+		// Contents are undefined after a failed decode: hand the next
+		// round a fresh dirty Message instead.
+		return &Message{}
+	}
+	if !reflect.DeepEqual(fresh, dirty) {
+		t.Fatalf("UnpackInto differs from Unpack:\n  fresh %#v\n  reuse %#v\n  wire %x", fresh, dirty, wire)
+	}
+	return dirty
+}
+
+func TestDifferentialCodec(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(7))
+	dirty := &Message{}
+	for i := 0; i < 3000; i++ {
+		m := randDiffMessage(r)
+		wire := diffCheckPack(t, m)
+		if wire == nil {
+			continue
+		}
+		dirty = diffCheckUnpack(t, wire, dirty)
+
+		// Also diff the error paths: mutated wire must fail (or succeed)
+		// identically through both decoders.
+		if len(wire) > 0 && i%2 == 0 {
+			corrupt := append([]byte(nil), wire...)
+			for n := 1 + r.Intn(3); n > 0; n-- {
+				corrupt[r.Intn(len(corrupt))] ^= byte(1 << r.Intn(8))
+			}
+			if r.Intn(4) == 0 {
+				corrupt = corrupt[:r.Intn(len(corrupt)+1)]
+			}
+			dirty = diffCheckUnpack(t, corrupt, dirty)
+		}
+	}
+}
+
+// TestDifferentialCodecRace is the bounded concurrent variant: parallel
+// subtests exercise the builder/unpackState pools from several
+// goroutines at once so -race can see into the pooled scratch reuse.
+func TestDifferentialCodecRace(t *testing.T) {
+	t.Parallel()
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		seed := int64(100 + w)
+		t.Run(fmt.Sprintf("worker%d", w), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			dirty := &Message{}
+			for i := 0; i < 200; i++ {
+				m := randDiffMessage(r)
+				wire := diffCheckPack(t, m)
+				if wire == nil {
+					continue
+				}
+				dirty = diffCheckUnpack(t, wire, dirty)
+			}
+		})
+	}
+}

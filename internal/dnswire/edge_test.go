@@ -18,14 +18,14 @@ func TestCompressionOffsetHorizon(t *testing.T) {
 		m.Answers = append(m.Answers, RR{
 			Name:  Name(string(rune('a'+i%26)) + mustLabel(i) + ".fill.example."),
 			Class: ClassINET, TTL: 1,
-			Data: TXTRData{Strings: []string{filler}},
+			Data: &TXTRData{Strings: []string{filler}},
 		})
 	}
 	late := Name("late.appearing.owner.example.")
 	for i := 0; i < 2; i++ {
 		m.Answers = append(m.Answers, RR{
 			Name: late, Class: ClassINET, TTL: 1,
-			Data: ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
+			Data: &ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
 		})
 	}
 	data, err := m.Pack()
@@ -57,7 +57,7 @@ func TestEmptyTXTString(t *testing.T) {
 	m := &Message{Header: Header{ID: 1, Response: true}}
 	m.Answers = []RR{{
 		Name: "t.example.", Class: ClassINET, TTL: 1,
-		Data: TXTRData{Strings: []string{""}},
+		Data: &TXTRData{Strings: []string{""}},
 	}}
 	data, err := m.Pack()
 	if err != nil {
@@ -67,7 +67,7 @@ func TestEmptyTXTString(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	txt := got.Answers[0].Data.(TXTRData)
+	txt := got.Answers[0].Data.(*TXTRData)
 	if len(txt.Strings) != 1 || txt.Strings[0] != "" {
 		t.Fatalf("TXT = %+v", txt)
 	}
@@ -78,7 +78,7 @@ func TestOversizeTXTStringTruncated(t *testing.T) {
 	m := &Message{Header: Header{ID: 1, Response: true}}
 	m.Answers = []RR{{
 		Name: "t.example.", Class: ClassINET, TTL: 1,
-		Data: TXTRData{Strings: []string{long}},
+		Data: &TXTRData{Strings: []string{long}},
 	}}
 	data, err := m.Pack()
 	if err != nil {
@@ -88,7 +88,7 @@ func TestOversizeTXTStringTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := got.Answers[0].Data.(TXTRData).Strings[0]
+	s := got.Answers[0].Data.(*TXTRData).Strings[0]
 	if len(s) != 255 {
 		t.Fatalf("character-string length = %d, want clamped 255", len(s))
 	}
@@ -98,7 +98,7 @@ func TestRootOwnerRecord(t *testing.T) {
 	m := &Message{Header: Header{ID: 1, Response: true}}
 	m.Answers = []RR{{
 		Name: Root, Class: ClassINET, TTL: 518400,
-		Data: NSRData{Host: "a.root-servers.example."},
+		Data: &NSRData{Host: "a.root-servers.example."},
 	}}
 	data, err := m.Pack()
 	if err != nil {

@@ -89,20 +89,29 @@ func (e *EDNS) encode(b *builder, rcode RCode) {
 	b.buf[lenOff+1] = uint8(rdlen)
 }
 
-func decodeEDNS(p *parser, owner Name, cls uint16, ttl uint32, rdlen int) (*EDNS, error) {
+// decodeEDNSInto decodes an OPT pseudo-record. old, when non-nil, is the
+// reuse candidate: its struct, Options slice, and per-option Data buffers
+// are overwritten in place so repeated decodes into a reused Message stay
+// allocation-free.
+var errOPTNonRootOwner = errors.New("dnswire: OPT record with non-root owner")
+
+func decodeEDNSInto(p *parser, old *EDNS, owner Name, cls uint16, ttl uint32, rdlen int) (*EDNS, error) {
 	if owner != Root {
-		return nil, errors.New("dnswire: OPT record with non-root owner")
+		return nil, errOPTNonRootOwner
 	}
-	e := &EDNS{
-		UDPSize:    cls,
-		extRCodeHi: uint8(ttl >> 24),
-		Version:    uint8(ttl >> 16),
-		DO:         ttl&(1<<15) != 0,
+	e := old
+	if e == nil {
+		e = &EDNS{}
 	}
+	e.UDPSize = cls
+	e.extRCodeHi = uint8(ttl >> 24)
+	e.Version = uint8(ttl >> 16)
+	e.DO = ttl&(1<<15) != 0
 	end := p.off + rdlen
 	if end > len(p.msg) {
 		return nil, ErrShortMessage
 	}
+	opts := e.Options[:0]
 	for p.off < end {
 		code, err := p.uint16()
 		if err != nil {
@@ -119,12 +128,20 @@ func decodeEDNS(p *parser, owner Name, cls uint16, ttl uint32, rdlen int) (*EDNS
 		if p.off > end {
 			return nil, ErrRDataLength
 		}
-		data := make([]byte, olen)
-		copy(data, raw)
-		e.Options = append(e.Options, Option{Code: code, Data: data})
+		var slot *Option
+		opts, slot = grow(opts)
+		slot.Code = code
+		slot.Data = append(slot.Data[:0], raw...)
+		if len(slot.Data) == 0 {
+			slot.Data = nil
+		}
 	}
 	if p.off != end {
 		return nil, ErrRDataLength
 	}
+	if len(opts) == 0 {
+		opts = nil
+	}
+	e.Options = opts
 	return e, nil
 }

@@ -3,6 +3,7 @@ package dnswire
 import (
 	"bytes"
 	"net/netip"
+	"reflect"
 	"testing"
 )
 
@@ -22,14 +23,14 @@ func FuzzUnpack(f *testing.F) {
 	r := NewResponse(q)
 	r.Answers = []RR{
 		{Name: "www.example.com.", Class: ClassINET, TTL: 20,
-			Data: ARData{Addr: netip.MustParseAddr("192.0.2.1")}},
+			Data: &ARData{Addr: netip.MustParseAddr("192.0.2.1")}},
 		{Name: "www.example.com.", Class: ClassINET, TTL: 20,
-			Data: CNAMERData{Target: "edge.example.net."}},
+			Data: &CNAMERData{Target: "edge.example.net."}},
 		{Name: "www.example.com.", Class: ClassINET, TTL: 20,
-			Data: TXTRData{Strings: []string{"a", "b"}}},
+			Data: &TXTRData{Strings: []string{"a", "b"}}},
 	}
 	r.Authorities = []RR{
-		{Name: "example.com.", Class: ClassINET, TTL: 60, Data: SOARData{
+		{Name: "example.com.", Class: ClassINET, TTL: 60, Data: &SOARData{
 			MName: "ns1.example.com.", RName: "hostmaster.example.com.",
 			Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5,
 		}},
@@ -68,6 +69,63 @@ func FuzzUnpack(f *testing.F) {
 		}
 		if m.ID != m2.ID || m.RCode != m2.RCode || m.Response != m2.Response {
 			t.Fatal("header fields changed across repack")
+		}
+	})
+}
+
+// FuzzUnpackReuse fuzzes the Message-reuse decode path against fresh
+// Unpack as the oracle: after dirtying a Message with one arbitrary
+// decode (successful or not), UnpackInto on a second input must return
+// the same error as Unpack and — on success — a struct DeepEqual to the
+// fresh decode. This is the check that catches stale fields leaking out
+// of reused Messages.
+func FuzzUnpackReuse(f *testing.F) {
+	q := NewQuery(7, "www.example.com.", TypeA)
+	q.EDNS = NewEDNS()
+	q.EDNS.SetOption(Option{Code: OptionCodeECS, Data: []byte{0, 1, 24, 0, 192, 0, 2}})
+	seed1, err := q.Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := NewResponse(q)
+	r.Answers = []RR{
+		{Name: "www.example.com.", Class: ClassINET, TTL: 20,
+			Data: &ARData{Addr: netip.MustParseAddr("192.0.2.1")}},
+		{Name: "www.example.com.", Class: ClassINET, TTL: 20,
+			Data: &TXTRData{Strings: []string{"alpha", "beta"}}},
+	}
+	r.EDNS = NewEDNS()
+	seed2, err := r.Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed1, seed2)
+	f.Add(seed2, seed1)
+	f.Add(seed1, seed1)
+	f.Add([]byte{}, seed2)
+	f.Add(seed2, []byte{0, 1, 0x80, 0, 0, 0, 0xFF, 0xFF, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, dirt, data []byte) {
+		m := &Message{}
+		// First decode only exists to dirty m; failure is fine — a reused
+		// Message carrying the debris of a failed decode must still be a
+		// valid reuse target.
+		_ = UnpackInto(m, dirt)
+
+		fresh, errFresh := Unpack(data)
+		errReuse := UnpackInto(m, data)
+		if (errFresh == nil) != (errReuse == nil) {
+			t.Fatalf("Unpack err=%v, UnpackInto err=%v\ndirt: %x\ndata: %x", errFresh, errReuse, dirt, data)
+		}
+		if errFresh != nil {
+			if errFresh != errReuse {
+				t.Fatalf("error mismatch: Unpack %v, UnpackInto %v\ndirt: %x\ndata: %x", errFresh, errReuse, dirt, data)
+			}
+			return
+		}
+		if !reflect.DeepEqual(fresh, m) {
+			t.Fatalf("reused decode differs from fresh:\nfresh: %#v\nreuse: %#v\ndirt: %x\ndata: %x",
+				fresh, m, dirt, data)
 		}
 	})
 }

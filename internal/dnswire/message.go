@@ -78,19 +78,41 @@ func (m *Message) Question() Question {
 
 // Pack encodes m into wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	return m.pack(true)
+	return m.appendPack(make([]byte, 0, 512), true)
 }
 
 // PackNoCompress encodes m without name compression; it exists so the
 // compression ablation benchmark can quantify the savings.
 func (m *Message) PackNoCompress() ([]byte, error) {
-	return m.pack(false)
+	return m.appendPack(make([]byte, 0, 512), false)
+}
+
+// AppendPack encodes m with name compression, appending the wire bytes
+// to buf and returning the extended slice (which may have been
+// reallocated, exactly like append). The encoded output is
+// byte-identical to Pack: compression offsets are computed relative to
+// the message start, so buf may already carry a prefix (a TCP length
+// frame, earlier datagram payload). With a reused buffer of sufficient
+// capacity the steady-state encode path performs zero allocations.
+//
+// The returned slice aliases buf's backing array; the caller owns it
+// and must not hand it to a consumer that outlives the buffer's reuse
+// cycle without copying.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	return m.appendPack(buf, true)
 }
 
 var errTooManySections = errors.New("dnswire: section exceeds 65535 records")
+var errMessageTooLong = errors.New("dnswire: message exceeds 65535 bytes")
 
-func (m *Message) pack(compress bool) ([]byte, error) {
-	b := newBuilder(512)
+func (m *Message) appendPack(buf []byte, compress bool) ([]byte, error) {
+	b := acquireBuilder(buf)
+	out, err := m.packInto(b, compress)
+	releaseBuilder(b)
+	return out, err
+}
+
+func (m *Message) packInto(b *builder, compress bool) ([]byte, error) {
 	b.uint16(m.ID)
 	flags1 := uint8(0)
 	if m.Response {
@@ -148,8 +170,8 @@ func (m *Message) pack(compress bool) ([]byte, error) {
 	if m.EDNS != nil {
 		m.EDNS.encode(b, m.RCode)
 	}
-	if len(b.buf) > MaxMessageSize {
-		return nil, errors.New("dnswire: message exceeds 65535 bytes")
+	if b.msgLen() > MaxMessageSize {
+		return nil, errMessageTooLong
 	}
 	return b.buf, nil
 }
@@ -200,22 +222,157 @@ func PatchID(wire []byte, id uint16) bool {
 // headerLen is the fixed DNS header size (RFC 1035 §4.1.1).
 const headerLen = 12
 
+// PeekHeader reads the transaction ID and the QR (response) bit from a
+// packed message without a full Unpack, so a transport read loop can
+// demux raw datagrams before paying for a parse. ok is false when the
+// packet is shorter than a DNS header.
+func PeekHeader(wire []byte) (id uint16, response bool, ok bool) {
+	if len(wire) < headerLen {
+		return 0, false, false
+	}
+	return uint16(wire[0])<<8 | uint16(wire[1]), wire[2]&0x80 != 0, true
+}
+
+// skipName advances past the name encoded at off without decoding it.
+func skipName(msg []byte, off int) (int, error) {
+	for {
+		if off >= len(msg) {
+			return 0, ErrShortMessage
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			return off + 1, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return 0, ErrShortMessage
+			}
+			return off + 2, nil
+		case c&0xC0 != 0:
+			return 0, errReservedLabel
+		default:
+			off += 1 + int(c)
+		}
+	}
+}
+
+// FindOption locates the data bytes of the first EDNS option with the
+// given code inside a packed message, returning the offset of the
+// option data within msg and its length. It walks the message without
+// decoding it, so transports can record option positions (e.g. the ECS
+// payload inside a cached query template) for in-place patching later.
+func FindOption(msg []byte, code uint16) (off, n int, ok bool) {
+	if len(msg) < headerLen {
+		return 0, 0, false
+	}
+	p := &parser{msg: msg, off: 4}
+	var counts [4]int
+	for i := range counts {
+		c, err := p.uint16()
+		if err != nil {
+			return 0, 0, false
+		}
+		counts[i] = int(c)
+	}
+	for i := 0; i < counts[0]; i++ {
+		next, err := skipName(msg, p.off)
+		if err != nil {
+			return 0, 0, false
+		}
+		p.off = next + 4
+	}
+	for i := 0; i < counts[1]+counts[2]+counts[3]; i++ {
+		next, err := skipName(msg, p.off)
+		if err != nil {
+			return 0, 0, false
+		}
+		p.off = next
+		t, err := p.uint16()
+		if err != nil {
+			return 0, 0, false
+		}
+		p.off += 6 // class + ttl
+		rdlen, err := p.uint16()
+		if err != nil {
+			return 0, 0, false
+		}
+		end := p.off + int(rdlen)
+		if end > len(msg) {
+			return 0, 0, false
+		}
+		if Type(t) != TypeOPT {
+			p.off = end
+			continue
+		}
+		for p.off < end {
+			oc, err := p.uint16()
+			if err != nil {
+				return 0, 0, false
+			}
+			olen, err := p.uint16()
+			if err != nil || p.off+int(olen) > end {
+				return 0, 0, false
+			}
+			if oc == code {
+				return p.off, int(olen), true
+			}
+			p.off += int(olen)
+		}
+		p.off = end
+	}
+	return 0, 0, false
+}
+
+// Decode errors shared by Unpack and UnpackInto.
+var (
+	errOPTOutsideAdditional = errors.New("dnswire: OPT record outside additional section")
+	errDuplicateOPT         = errors.New("dnswire: duplicate OPT record")
+)
+
 // Unpack decodes a wire-format DNS message.
 func Unpack(data []byte) (*Message, error) {
-	p := &parser{msg: data}
 	m := &Message{}
+	if err := UnpackInto(m, data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnpackInto decodes a wire-format DNS message into m, reusing the
+// memory a previous decode left behind: section slices are truncated
+// and re-extended in place, rdata payloads of matching types are
+// overwritten rather than reallocated, and name strings that decode to
+// the same bytes keep the existing allocation. Decoding the same shape
+// of message into a reused Message is therefore allocation-free — the
+// property the scan pipeline's receive path is built on.
+//
+// Unpack is UnpackInto on a zero Message; both produce structurally
+// identical results (reflect.DeepEqual) for identical wire input. On
+// error m's contents are undefined. The caller owns m and everything
+// it references; a subsequent UnpackInto on the same Message
+// invalidates names, rdata, and option payloads from the previous
+// decode.
+func UnpackInto(m *Message, data []byte) error {
+	st := unpackPool.Get().(*unpackState)
+	err := unpackInto(m, data, st)
+	unpackPool.Put(st)
+	return err
+}
+
+func unpackInto(m *Message, data []byte, st *unpackState) error {
+	p := &parser{msg: data, st: st}
 	id, err := p.uint16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.ID = id
 	f1, err := p.uint8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	f2, err := p.uint8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Response = f1&0x80 != 0
 	m.OpCode = OpCode((f1 >> 3) & 0xF)
@@ -231,88 +388,115 @@ func Unpack(data []byte) (*Message, error) {
 	for i := range counts {
 		c, err := p.uint16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		counts[i] = int(c)
 	}
 	// Each question needs ≥5 bytes, each RR ≥11; a cheap bound that stops
 	// count-based allocation bombs before any allocation happens.
 	if counts[0]*5+(counts[1]+counts[2]+counts[3])*11 > p.remaining() {
-		return nil, ErrTooManyRRs
+		return ErrTooManyRRs
 	}
 
+	m.Questions = m.Questions[:0]
 	for i := 0; i < counts[0]; i++ {
-		n, err := p.name()
+		var q *Question
+		m.Questions, q = grow(m.Questions)
+		n, err := p.name(q.Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t, err := p.uint16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, err := p.uint16()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m.Questions = append(m.Questions, Question{Name: n, Type: Type(t), Class: Class(c)})
+		q.Name, q.Type, q.Class = n, Type(t), Class(c)
 	}
-	sections := []*[]RR{&m.Answers, &m.Authorities, &m.Additionals}
+
+	// The old EDNS struct (if any) is the reuse candidate for this
+	// decode's OPT record; m.EDNS itself doubles as the duplicate-OPT
+	// sentinel.
+	oldEDNS := m.EDNS
+	m.EDNS = nil
+	sections := [3]*[]RR{&m.Answers, &m.Authorities, &m.Additionals}
 	for si, sec := range sections {
+		*sec = (*sec)[:0]
 		for i := 0; i < counts[si+1]; i++ {
-			rr, opt, err := unpackRR(p)
+			var slot *RR
+			*sec, slot = grow(*sec)
+			opt, err := unpackRRInto(p, slot, oldEDNS)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if opt != nil {
+				*sec = (*sec)[:len(*sec)-1] // OPT records surface as m.EDNS, not as RRs
 				if si != 2 {
-					return nil, errors.New("dnswire: OPT record outside additional section")
+					return errOPTOutsideAdditional
 				}
 				if m.EDNS != nil {
-					return nil, errors.New("dnswire: duplicate OPT record")
+					return errDuplicateOPT
 				}
 				m.EDNS = opt
 				m.RCode |= RCode(opt.extRCodeHi) << 4
-				continue
 			}
-			*sec = append(*sec, rr)
+		}
+		// Nil-vs-empty must be a pure function of the wire bytes so that
+		// Unpack and UnpackInto DeepEqual: a zero count decodes to a nil
+		// section, while a section whose records were all OPTs keeps its
+		// (now empty) slice — and with it the capacity a reused Message
+		// needs to stay allocation-free.
+		if counts[si+1] == 0 {
+			*sec = nil
 		}
 	}
-	if p.remaining() != 0 {
-		return nil, ErrTrailingBytes
+	if counts[0] == 0 {
+		m.Questions = nil
 	}
-	return m, nil
+	if p.remaining() != 0 {
+		return ErrTrailingBytes
+	}
+	return nil
 }
 
-func unpackRR(p *parser) (RR, *EDNS, error) {
-	n, err := p.name()
+// unpackRRInto decodes one resource record into slot, reusing the
+// slot's previous contents where the bytes allow. An OPT pseudo-record
+// is decoded into (and returned as) an EDNS instead — oldEDNS, when
+// non-nil, is its reuse candidate — and slot is left untouched beyond
+// scratch writes the caller discards.
+func unpackRRInto(p *parser, slot *RR, oldEDNS *EDNS) (*EDNS, error) {
+	n, err := p.name(slot.Name)
 	if err != nil {
-		return RR{}, nil, err
+		return nil, err
 	}
 	t, err := p.uint16()
 	if err != nil {
-		return RR{}, nil, err
+		return nil, err
 	}
 	cls, err := p.uint16()
 	if err != nil {
-		return RR{}, nil, err
+		return nil, err
 	}
 	ttl, err := p.uint32()
 	if err != nil {
-		return RR{}, nil, err
+		return nil, err
 	}
 	rdlen, err := p.uint16()
 	if err != nil {
-		return RR{}, nil, err
+		return nil, err
 	}
 	if Type(t) == TypeOPT {
-		opt, err := decodeEDNS(p, n, cls, ttl, int(rdlen))
-		return RR{}, opt, err
+		return decodeEDNSInto(p, oldEDNS, n, cls, ttl, int(rdlen))
 	}
-	rd, err := decodeRData(p, Type(t), int(rdlen))
+	rd, err := decodeRData(p, Type(t), int(rdlen), slot.Data)
 	if err != nil {
-		return RR{}, nil, err
+		return nil, err
 	}
-	return RR{Name: n, Class: Class(cls), TTL: ttl, Data: rd}, nil, nil
+	slot.Name, slot.Class, slot.TTL, slot.Data = n, Class(cls), ttl, rd
+	return nil, nil
 }
 
 // String renders the message in a dig-like multi-section format.
@@ -388,15 +572,25 @@ func NewResponse(q *Message) *Message {
 // whole records from the tail sections and setting TC when anything was
 // dropped. It returns the packed bytes.
 func (m *Message) TruncateTo(size int) ([]byte, error) {
+	return m.AppendTruncateTo(nil, size)
+}
+
+// AppendTruncateTo is TruncateTo appending the packed bytes onto buf —
+// the allocation-free variant for send paths that own a reusable
+// buffer. The returned slice aliases buf's backing array when it has
+// the capacity.
+func (m *Message) AppendTruncateTo(buf []byte, size int) ([]byte, error) {
 	if size < 12 {
 		return nil, errors.New("dnswire: truncation size below header size")
 	}
+	base := len(buf)
 	for {
-		data, err := m.Pack()
+		data, err := m.AppendPack(buf[:base])
 		if err != nil {
 			return nil, err
 		}
-		if len(data) <= size {
+		buf = data
+		if len(data)-base <= size {
 			return data, nil
 		}
 		m.Truncated = true
@@ -409,11 +603,11 @@ func (m *Message) TruncateTo(size int) ([]byte, error) {
 			m.Answers = m.Answers[:len(m.Answers)-1]
 		default:
 			m.EDNS = nil
-			data, err := m.Pack()
+			data, err := m.AppendPack(buf[:base])
 			if err != nil {
 				return nil, err
 			}
-			if len(data) > size {
+			if len(data)-base > size {
 				return nil, errors.New("dnswire: header alone exceeds truncation size")
 			}
 			return data, nil

@@ -16,23 +16,23 @@ func sampleResponse() *Message {
 	r.Answers = []RR{
 		{
 			Name: "www.example.com.", Class: ClassINET, TTL: 20,
-			Data: CNAMERData{Target: "edge.cdn.example.net."},
+			Data: &CNAMERData{Target: "edge.cdn.example.net."},
 		},
 		{
 			Name: "edge.cdn.example.net.", Class: ClassINET, TTL: 20,
-			Data: ARData{Addr: netip.MustParseAddr("192.0.2.17")},
+			Data: &ARData{Addr: netip.MustParseAddr("192.0.2.17")},
 		},
 	}
 	r.Authorities = []RR{
 		{
 			Name: "cdn.example.net.", Class: ClassINET, TTL: 3600,
-			Data: NSRData{Host: "ns1.cdn.example.net."},
+			Data: &NSRData{Host: "ns1.cdn.example.net."},
 		},
 	}
 	r.Additionals = []RR{
 		{
 			Name: "ns1.cdn.example.net.", Class: ClassINET, TTL: 3600,
-			Data: ARData{Addr: netip.MustParseAddr("198.51.100.53")},
+			Data: &ARData{Addr: netip.MustParseAddr("198.51.100.53")},
 		},
 	}
 	return r
@@ -104,18 +104,18 @@ func TestCompressionShrinksMessages(t *testing.T) {
 func TestAllRDataTypesRoundTrip(t *testing.T) {
 	t.Parallel()
 	rrs := []RR{
-		{Name: "a.example.", Class: ClassINET, TTL: 1, Data: ARData{Addr: netip.MustParseAddr("10.1.2.3")}},
-		{Name: "aaaa.example.", Class: ClassINET, TTL: 2, Data: AAAARData{Addr: netip.MustParseAddr("2001:db8::1")}},
-		{Name: "cn.example.", Class: ClassINET, TTL: 3, Data: CNAMERData{Target: "t.example."}},
-		{Name: "ns.example.", Class: ClassINET, TTL: 4, Data: NSRData{Host: "ns1.example."}},
-		{Name: "ptr.example.", Class: ClassINET, TTL: 5, Data: PTRRData{Target: "host.example."}},
-		{Name: "mx.example.", Class: ClassINET, TTL: 6, Data: MXRData{Preference: 10, Host: "mail.example."}},
-		{Name: "txt.example.", Class: ClassINET, TTL: 7, Data: TXTRData{Strings: []string{"hello", "world"}}},
-		{Name: "soa.example.", Class: ClassINET, TTL: 8, Data: SOARData{
+		{Name: "a.example.", Class: ClassINET, TTL: 1, Data: &ARData{Addr: netip.MustParseAddr("10.1.2.3")}},
+		{Name: "aaaa.example.", Class: ClassINET, TTL: 2, Data: &AAAARData{Addr: netip.MustParseAddr("2001:db8::1")}},
+		{Name: "cn.example.", Class: ClassINET, TTL: 3, Data: &CNAMERData{Target: "t.example."}},
+		{Name: "ns.example.", Class: ClassINET, TTL: 4, Data: &NSRData{Host: "ns1.example."}},
+		{Name: "ptr.example.", Class: ClassINET, TTL: 5, Data: &PTRRData{Target: "host.example."}},
+		{Name: "mx.example.", Class: ClassINET, TTL: 6, Data: &MXRData{Preference: 10, Host: "mail.example."}},
+		{Name: "txt.example.", Class: ClassINET, TTL: 7, Data: &TXTRData{Strings: []string{"hello", "world"}}},
+		{Name: "soa.example.", Class: ClassINET, TTL: 8, Data: &SOARData{
 			MName: "ns1.example.", RName: "hostmaster.example.",
 			Serial: 2019102101, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 60,
 		}},
-		{Name: "raw.example.", Class: ClassINET, TTL: 9, Data: UnknownRData{T: Type(999), Raw: []byte{1, 2, 3}}},
+		{Name: "raw.example.", Class: ClassINET, TTL: 9, Data: &UnknownRData{T: Type(999), Raw: []byte{1, 2, 3}}},
 	}
 	m := &Message{Header: Header{ID: 1, Response: true}, Answers: rrs}
 	data, err := m.Pack()
@@ -296,7 +296,7 @@ func TestTruncateTo(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		m.Answers = append(m.Answers, RR{
 			Name: "edge.cdn.example.net.", Class: ClassINET, TTL: 20,
-			Data: ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
+			Data: &ARData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})},
 		})
 	}
 	data, err := m.TruncateTo(512)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package dnswire
+
+// raceEnabled reports that the race detector is active; see the race
+// build for why the allocation gates care.
+const raceEnabled = false

@@ -159,7 +159,16 @@ func (r UnknownRData) String() string {
 // decodeRData decodes rdlen bytes of rdata of the given type. The parser is
 // positioned at the start of the rdata; name-bearing types may follow
 // compression pointers anywhere earlier in the message.
-func decodeRData(p *parser, t Type, rdlen int) (RData, error) {
+//
+// old is the reuse candidate from the record slot being overwritten:
+// when it holds a payload of the same concrete type, that payload is
+// mutated in place (strings and byte slices reusing their existing
+// allocations where the bytes allow) and returned, keeping repeated
+// decodes into a reused Message allocation-free. Decoded payloads are
+// always pointers (*ARData, *TXTRData, ...) for exactly this reason — a
+// value stored in an RData interface could never be reused without a
+// fresh box allocation.
+func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 	end := p.off + rdlen
 	if end > len(p.msg) {
 		return nil, ErrShortMessage
@@ -171,43 +180,77 @@ func decodeRData(p *parser, t Type, rdlen int) (RData, error) {
 		if err != nil {
 			return nil, err
 		}
-		rd = ARData{Addr: netip.AddrFrom4([4]byte(raw))}
+		r, ok := old.(*ARData)
+		if !ok {
+			r = &ARData{}
+		}
+		r.Addr = netip.AddrFrom4([4]byte(raw))
+		rd = r
 	case TypeAAAA:
 		raw, err := p.bytes(16)
 		if err != nil {
 			return nil, err
 		}
-		rd = AAAARData{Addr: netip.AddrFrom16([16]byte(raw))}
+		r, ok := old.(*AAAARData)
+		if !ok {
+			r = &AAAARData{}
+		}
+		r.Addr = netip.AddrFrom16([16]byte(raw))
+		rd = r
 	case TypeCNAME:
-		n, err := p.name()
+		r, ok := old.(*CNAMERData)
+		if !ok {
+			r = &CNAMERData{}
+		}
+		n, err := p.name(r.Target)
 		if err != nil {
 			return nil, err
 		}
-		rd = CNAMERData{Target: n}
+		r.Target = n
+		rd = r
 	case TypeNS:
-		n, err := p.name()
+		r, ok := old.(*NSRData)
+		if !ok {
+			r = &NSRData{}
+		}
+		n, err := p.name(r.Host)
 		if err != nil {
 			return nil, err
 		}
-		rd = NSRData{Host: n}
+		r.Host = n
+		rd = r
 	case TypePTR:
-		n, err := p.name()
+		r, ok := old.(*PTRRData)
+		if !ok {
+			r = &PTRRData{}
+		}
+		n, err := p.name(r.Target)
 		if err != nil {
 			return nil, err
 		}
-		rd = PTRRData{Target: n}
+		r.Target = n
+		rd = r
 	case TypeMX:
+		r, ok := old.(*MXRData)
+		if !ok {
+			r = &MXRData{}
+		}
 		pref, err := p.uint16()
 		if err != nil {
 			return nil, err
 		}
-		n, err := p.name()
+		n, err := p.name(r.Host)
 		if err != nil {
 			return nil, err
 		}
-		rd = MXRData{Preference: pref, Host: n}
+		r.Preference, r.Host = pref, n
+		rd = r
 	case TypeTXT:
-		var ss []string
+		r, ok := old.(*TXTRData)
+		if !ok {
+			r = &TXTRData{}
+		}
+		ss := r.Strings[:0]
 		for p.off < end {
 			l, err := p.uint8()
 			if err != nil {
@@ -220,15 +263,27 @@ func decodeRData(p *parser, t Type, rdlen int) (RData, error) {
 			if p.off > end {
 				return nil, ErrRDataLength
 			}
-			ss = append(ss, string(raw))
+			var slot *string
+			ss, slot = grow(ss)
+			if *slot != string(raw) {
+				*slot = string(raw)
+			}
 		}
-		rd = TXTRData{Strings: ss}
+		if len(ss) == 0 {
+			ss = nil
+		}
+		r.Strings = ss
+		rd = r
 	case TypeSOA:
-		mname, err := p.name()
+		r, ok := old.(*SOARData)
+		if !ok {
+			r = &SOARData{}
+		}
+		mname, err := p.name(r.MName)
 		if err != nil {
 			return nil, err
 		}
-		rname, err := p.name()
+		rname, err := p.name(r.RName)
 		if err != nil {
 			return nil, err
 		}
@@ -240,19 +295,25 @@ func decodeRData(p *parser, t Type, rdlen int) (RData, error) {
 			}
 			vals[i] = v
 		}
-		rd = SOARData{
-			MName: mname, RName: rname,
-			Serial: vals[0], Refresh: vals[1], Retry: vals[2],
-			Expire: vals[3], Minimum: vals[4],
-		}
+		r.MName, r.RName = mname, rname
+		r.Serial, r.Refresh, r.Retry = vals[0], vals[1], vals[2]
+		r.Expire, r.Minimum = vals[3], vals[4]
+		rd = r
 	default:
 		raw, err := p.bytes(rdlen)
 		if err != nil {
 			return nil, err
 		}
-		cp := make([]byte, rdlen)
-		copy(cp, raw)
-		rd = UnknownRData{T: t, Raw: cp}
+		r, ok := old.(*UnknownRData)
+		if !ok {
+			r = &UnknownRData{}
+		}
+		r.T = t
+		r.Raw = append(r.Raw[:0], raw...)
+		if len(r.Raw) == 0 {
+			r.Raw = nil
+		}
+		rd = r
 	}
 	if p.off != end {
 		return nil, ErrRDataLength

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"strings"
+	"sync"
 )
 
 // Wire decoding errors.
@@ -14,27 +15,57 @@ var (
 	ErrTrailingBytes = errors.New("dnswire: trailing bytes after message")
 	ErrRDataLength   = errors.New("dnswire: rdata length mismatch")
 	ErrTooManyRRs    = errors.New("dnswire: section count exceeds message size")
+
+	errReservedLabel = errors.New("dnswire: reserved label type")
 )
 
 // builder accumulates an encoded message and tracks name-compression
-// targets. Compression offsets must fit in 14 bits; names that would land
-// beyond that horizon are simply not registered.
+// targets. Compression offsets are relative to base — the start of the
+// message inside buf — so append-style packing behind an existing
+// prefix (a TCP length frame, an earlier message) still emits valid
+// pointers. Offsets must fit in 14 bits; names beyond that horizon are
+// simply not registered.
+//
+// Builders are pooled: the steady-state encode path performs no
+// allocations beyond growing the caller's buffer.
 type builder struct {
 	buf      []byte
-	compress map[Name]int // suffix → offset of its first occurrence
+	base     int          // offset of the message start within buf
+	compress map[Name]int // suffix → message-relative offset of first occurrence
 }
 
-func newBuilder(sizeHint int) *builder {
-	return &builder{
-		buf:      make([]byte, 0, sizeHint),
-		compress: make(map[Name]int),
-	}
+var builderPool = sync.Pool{
+	New: func() any {
+		return &builder{compress: make(map[Name]int, 16)}
+	},
+}
+
+func acquireBuilder(buf []byte) *builder {
+	b := builderPool.Get().(*builder)
+	b.buf = buf
+	b.base = len(buf)
+	return b
+}
+
+// releaseBuilder returns b to the pool. The buffer is detached first so
+// the pool never pins caller memory; the compression map keeps its
+// buckets (cleared) so repeated packs of similar messages stay
+// allocation-free.
+func releaseBuilder(b *builder) {
+	b.buf = nil
+	b.base = 0
+	clear(b.compress)
+	builderPool.Put(b)
 }
 
 func (b *builder) uint8(v uint8)   { b.buf = append(b.buf, v) }
 func (b *builder) uint16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf, v) }
 func (b *builder) uint32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
 func (b *builder) bytes(p []byte)  { b.buf = append(b.buf, p...) }
+
+// msgLen is the length of the message packed so far (excluding any
+// caller prefix before base).
+func (b *builder) msgLen() int { return len(b.buf) - b.base }
 
 // name encodes n with compression against previously written names.
 func (b *builder) name(n Name) {
@@ -56,7 +87,7 @@ func (b *builder) nameOpt(n Name, compress bool) {
 				b.uint16(0xC000 | uint16(off))
 				return
 			}
-			if off := len(b.buf); off < 0x4000 {
+			if off := b.msgLen(); off < 0x4000 {
 				b.compress[rest] = off
 			}
 		}
@@ -71,10 +102,25 @@ func (b *builder) nameOpt(n Name, compress bool) {
 	b.uint8(0)
 }
 
+// unpackState is the per-decode scratch: a reused byte buffer names are
+// decoded into before they are compared against (and, when unchanged,
+// replaced by) the strings already present in a reused Message. States
+// are pooled so the steady-state decode path allocates nothing.
+type unpackState struct {
+	scratch []byte
+}
+
+var unpackPool = sync.Pool{
+	New: func() any {
+		return &unpackState{scratch: make([]byte, 0, MaxNameLen)}
+	},
+}
+
 // parser walks an encoded message.
 type parser struct {
 	msg []byte
 	off int
+	st  *unpackState
 }
 
 func (p *parser) remaining() int { return len(p.msg) - p.off }
@@ -117,26 +163,35 @@ func (p *parser) bytes(n int) ([]byte, error) {
 
 // name decodes a possibly-compressed domain name starting at the current
 // offset, advancing past it (pointers are followed without moving the
-// cursor beyond the pointer itself).
-func (p *parser) name() (Name, error) {
-	n, next, err := decodeNameAt(p.msg, p.off)
+// cursor beyond the pointer itself). old is the reuse candidate: when the
+// decoded name equals it byte-for-byte the existing string is returned
+// and no allocation happens — the path that keeps repeated decodes into
+// a reused Message allocation-free.
+func (p *parser) name(old Name) (Name, error) {
+	scratch, next, err := appendNameAt(p.st.scratch[:0], p.msg, p.off)
+	p.st.scratch = scratch[:0]
 	if err != nil {
 		return "", err
 	}
 	p.off = next
-	return n, nil
+	if string(old) == string(scratch) {
+		return old, nil
+	}
+	return Name(scratch), nil
 }
 
-// decodeNameAt decodes the name at offset off in msg and returns it along
-// with the offset of the first byte after the name's in-place encoding.
-func decodeNameAt(msg []byte, off int) (Name, int, error) {
-	var sb strings.Builder
+// appendNameAt decodes the name at offset off in msg into dst in
+// canonical presentation form (lower-cased, trailing dot; the root is
+// "."), returning the extended buffer and the offset of the first byte
+// after the name's in-place encoding.
+func appendNameAt(dst []byte, msg []byte, off int) ([]byte, int, error) {
+	mark := len(dst)
 	next := -1 // offset after the name at the original position
 	ptrBudget := 127
 	totalLen := 1
 	for {
 		if off >= len(msg) {
-			return "", 0, ErrShortMessage
+			return dst, 0, ErrShortMessage
 		}
 		c := msg[off]
 		switch {
@@ -144,13 +199,13 @@ func decodeNameAt(msg []byte, off int) (Name, int, error) {
 			if next < 0 {
 				next = off + 1
 			}
-			if sb.Len() == 0 {
-				return Root, next, nil
+			if len(dst) == mark {
+				dst = append(dst, '.') // root
 			}
-			return Name(foldLower(sb.String())), next, nil
+			return dst, next, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
-				return "", 0, ErrShortMessage
+				return dst, 0, ErrShortMessage
 			}
 			target := int(binary.BigEndian.Uint16(msg[off:]) & 0x3FFF)
 			if next < 0 {
@@ -159,56 +214,53 @@ func decodeNameAt(msg []byte, off int) (Name, int, error) {
 			if target >= off {
 				// Forward (or self) pointers are invalid and a
 				// common loop vector; reject them outright.
-				return "", 0, ErrBadPointer
+				return dst, 0, ErrBadPointer
 			}
 			ptrBudget--
 			if ptrBudget <= 0 {
-				return "", 0, ErrPointerLoop
+				return dst, 0, ErrPointerLoop
 			}
 			off = target
 		case c&0xC0 != 0:
-			return "", 0, errors.New("dnswire: reserved label type")
+			return dst, 0, errReservedLabel
 		default:
 			l := int(c)
 			if off+1+l > len(msg) {
-				return "", 0, ErrShortMessage
+				return dst, 0, ErrShortMessage
 			}
 			totalLen += l + 1
 			if totalLen > MaxNameLen {
-				return "", 0, ErrNameTooLong
+				return dst, 0, ErrNameTooLong
 			}
 			// Enforce the same label charset as ParseName: a '.' inside a
 			// wire label would be indistinguishable from a separator in the
 			// presentation form (so the name would re-encode as different
 			// labels), and whitespace/control bytes are excluded to match.
-			for _, b := range msg[off+1 : off+1+l] {
-				if b == '.' || b <= ' ' || b == 127 {
-					return "", 0, ErrBadLabelChar
+			for _, ch := range msg[off+1 : off+1+l] {
+				if ch == '.' || ch <= ' ' || ch == 127 {
+					return dst, 0, ErrBadLabelChar
 				}
+				if ch >= 'A' && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				dst = append(dst, ch)
 			}
-			sb.Write(msg[off+1 : off+1+l])
-			sb.WriteByte('.')
+			dst = append(dst, '.')
 			off += 1 + l
 		}
 	}
 }
 
-func foldLower(s string) string {
-	hasUpper := false
-	for i := 0; i < len(s); i++ {
-		if c := s[i]; c >= 'A' && c <= 'Z' {
-			hasUpper = true
-			break
-		}
+// grow extends s by one element. When spare capacity exists the slot is
+// revealed with its previous contents intact — the reuse window that
+// lets UnpackInto compare newly decoded data against what a recycled
+// Message already holds.
+func grow[T any](s []T) ([]T, *T) {
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+	} else {
+		var zero T
+		s = append(s, zero)
 	}
-	if !hasUpper {
-		return s
-	}
-	b := []byte(s)
-	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			b[i] = c + 'a' - 'A'
-		}
-	}
-	return string(b)
+	return s, &s[len(s)-1]
 }

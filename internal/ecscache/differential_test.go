@@ -89,7 +89,7 @@ func TestDifferentialImplementations(t *testing.T) {
 					} else {
 						e = Entry{
 							Answer: []dnswire.RR{{Name: "d.example.com.", Class: dnswire.ClassINET,
-								TTL: 60, Data: dnswire.ARData{Addr: addr("192.0.2.7")}}},
+								TTL: 60, Data: &dnswire.ARData{Addr: addr("192.0.2.7")}}},
 						}
 					}
 					e.Expiry = now.Add(time.Duration(1+rng.Intn(45)) * time.Second)
@@ -185,7 +185,7 @@ func TestDifferentialBounded(t *testing.T) {
 				Subnet: ecsopt.MustNew(client, 8+rng.Intn(17)).WithScope(1 + rng.Intn(32)),
 				HasECS: true,
 				Answer: []dnswire.RR{{Name: "d.example.com.", Class: dnswire.ClassINET,
-					TTL: 60, Data: dnswire.ARData{Addr: addr("192.0.2.7")}}},
+					TTL: 60, Data: &dnswire.ARData{Addr: addr("192.0.2.7")}}},
 				Expiry: now.Add(time.Duration(1+rng.Intn(45)) * time.Second),
 			}
 			lin.Insert(key, e, now)

@@ -25,7 +25,7 @@ func ecsEntry(prefix string, source, scope int, ttl time.Duration) Entry {
 		HasECS: true,
 		Answer: []dnswire.RR{{
 			Name: "www.example.com.", Class: dnswire.ClassINET, TTL: uint32(ttl / time.Second),
-			Data: dnswire.ARData{Addr: addr("192.0.2.1")},
+			Data: &dnswire.ARData{Addr: addr("192.0.2.1")},
 		}},
 		Expiry: t0.Add(ttl),
 	}
@@ -79,14 +79,14 @@ func TestLongestScopePreferred(t *testing.T) {
 	wide := ecsEntry("203.0.0.0", 24, 8, time.Minute)
 	narrow := ecsEntry("203.0.113.0", 24, 24, time.Minute)
 	narrow.RCode = dnswire.RCodeNoError
-	narrow.Answer[0].Data = dnswire.ARData{Addr: addr("192.0.2.99")}
+	narrow.Answer[0].Data = &dnswire.ARData{Addr: addr("192.0.2.99")}
 	c.Insert(keyA, wide, t0)
 	c.Insert(keyA, narrow, t0)
 	e, ok := c.Lookup(keyA, addr("203.0.113.7"), t0.Add(time.Second))
 	if !ok {
 		t.Fatal("miss")
 	}
-	if a := e.Answer[0].Data.(dnswire.ARData).Addr; a != addr("192.0.2.99") {
+	if a := e.Answer[0].Data.(*dnswire.ARData).Addr; a != addr("192.0.2.99") {
 		t.Fatalf("got wide entry (%s), want narrow", a)
 	}
 }

@@ -14,7 +14,7 @@ func negEntry(ttl time.Duration) Entry {
 		RCode: dnswire.RCodeNXDomain,
 		Authority: []dnswire.RR{{
 			Name: "example.com.", Class: dnswire.ClassINET, TTL: uint32(ttl / time.Second),
-			Data: dnswire.SOARData{MName: "ns.example.com.", Minimum: uint32(ttl / time.Second)},
+			Data: &dnswire.SOARData{MName: "ns.example.com.", Minimum: uint32(ttl / time.Second)},
 		}},
 		Expiry: t0.Add(ttl),
 	}
@@ -126,7 +126,7 @@ func TestInvalidECSRejectedBothPaths(t *testing.T) {
 			c.Insert(keyA, Entry{
 				Subnet: ecsopt.Zero(), HasECS: true,
 				Answer: []dnswire.RR{{Name: "www.example.com.", Class: dnswire.ClassINET, TTL: 60,
-					Data: dnswire.ARData{Addr: addr("192.0.2.1")}}},
+					Data: &dnswire.ARData{Addr: addr("192.0.2.1")}}},
 				Expiry: t0.Add(time.Minute),
 			}, t0)
 			for _, client := range []string{"8.8.8.8", "203.0.113.1", "2001:db8::1"} {

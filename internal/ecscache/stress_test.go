@@ -48,7 +48,7 @@ func TestConcurrentCacheAccess(t *testing.T) {
 			answer := []dnswire.RR{{
 				Name:  "k.stress.example.",
 				Class: dnswire.ClassINET, TTL: 20,
-				Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+				Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
 			}}
 
 			const workers = 4

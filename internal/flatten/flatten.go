@@ -101,7 +101,7 @@ func Run(cfg Config) (*Result, error) {
 		Now:        n.Clock().Now,
 	})
 	pz := authority.NewZone("customer.example.", 60)
-	pz.MustAdd(dnswire.RR{Name: wwwName, Data: dnswire.CNAMERData{Target: cdnName}})
+	pz.MustAdd(dnswire.RR{Name: wwwName, Data: &dnswire.CNAMERData{Target: cdnName}})
 	provider.AddZone(pz)
 	provider.SetDynamic(func(q dnswire.Question, cs ecsopt.ClientSubnet, hasECS bool, from netip.Addr) ([]dnswire.RR, uint8, bool, bool) {
 		if q.Name != apexName || q.Type != dnswire.TypeA {
@@ -122,10 +122,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 		rrs := make([]dnswire.RR, 0, len(resp.Answers))
 		for _, rr := range resp.Answers {
-			if a, ok := rr.Data.(dnswire.ARData); ok {
+			if a, ok := rr.Data.(*dnswire.ARData); ok {
 				rrs = append(rrs, dnswire.RR{
 					Name: apexName, Class: dnswire.ClassINET, TTL: rr.TTL,
-					Data: dnswire.ARData{Addr: a.Addr},
+					Data: &dnswire.ARData{Addr: a.Addr},
 				})
 			}
 		}
@@ -227,7 +227,7 @@ func Run(cfg Config) (*Result, error) {
 
 func firstA(m *dnswire.Message) (netip.Addr, error) {
 	for _, rr := range m.Answers {
-		if a, ok := rr.Data.(dnswire.ARData); ok {
+		if a, ok := rr.Data.(*dnswire.ARData); ok {
 			return a.Addr, nil
 		}
 	}

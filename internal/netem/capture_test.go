@@ -19,7 +19,7 @@ func TestCaptureRoundTrip(t *testing.T) {
 		r := dnswire.NewResponse(q)
 		r.Answers = []dnswire.RR{{
 			Name: q.Question().Name, Class: dnswire.ClassINET, TTL: 20,
-			Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+			Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
 		}}
 		if q.EDNS != nil {
 			if cs, present, err := ecsopt.FromMessage(q); present && err == nil {

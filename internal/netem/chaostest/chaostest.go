@@ -112,7 +112,7 @@ func RunResolver(tb testing.TB, sc Scenario) ResolverResult {
 		Scope: authority.ScopeFixed(24), Now: n.Clock().Now,
 	})
 	z := authority.NewZone("chaos.example.", 20)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: chaosAnswer})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: chaosAnswer})
 	auth.AddZone(z)
 	n.Register(authAddr, auth)
 
@@ -192,7 +192,7 @@ func classify(tb testing.TB, scenario string, q *dnswire.Message, resp *dnswire.
 		return OutcomeServFail
 	case resp.RCode == dnswire.RCodeNoError && len(resp.Answers) > 0:
 		for _, rr := range resp.Answers {
-			a, ok := rr.Data.(dnswire.ARData)
+			a, ok := rr.Data.(*dnswire.ARData)
 			if !ok || a.Addr != chaosAnswer {
 				tb.Fatalf("%s: wrong answer leaked through: %v", scenario, rr)
 			}
@@ -242,7 +242,7 @@ func RunEngine(tb testing.TB, sc Scenario) EngineResult {
 		Scope: authority.ScopeFixed(24), Now: n.Clock().Now,
 	})
 	z := authority.NewZone(zone, 30)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")})
 	auth.AddZone(z)
 	logs := &scanner.LogBuffer{}
 	auth.SetLog(logs.Append)

@@ -120,7 +120,7 @@ func overloadRig(tb testing.TB, configure func(*dnsserver.Server)) (*overloadHan
 		ECSEnabled: true, Scope: authority.ScopeFixed(24), Now: clk.Now,
 	})
 	z := authority.NewZone(overloadZone, 30)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: chaosAnswer})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: chaosAnswer})
 	auth.AddZone(z)
 	h := newOverloadHandler(auth)
 	srv := dnsserver.New(h)
@@ -238,7 +238,7 @@ func expectAnswer(tb testing.TB, scenario string, conn net.Conn, id uint16) {
 	if msg.ID != id || msg.RCode != dnswire.RCodeNoError || len(msg.Answers) != 1 {
 		tb.Fatalf("%s: query %d: bad reply %v", scenario, id, msg)
 	}
-	if a, ok := msg.Answers[0].Data.(dnswire.ARData); !ok || a.Addr != chaosAnswer {
+	if a, ok := msg.Answers[0].Data.(*dnswire.ARData); !ok || a.Addr != chaosAnswer {
 		tb.Fatalf("%s: query %d: wrong answer %v", scenario, id, msg.Answers[0])
 	}
 }

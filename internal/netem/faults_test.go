@@ -21,7 +21,7 @@ func faultRig(t *testing.T) (*Network, netip.Addr, netip.Addr) {
 		r := dnswire.NewResponse(q)
 		r.Answers = []dnswire.RR{{
 			Name: q.Question().Name, Class: dnswire.ClassINET, TTL: 30,
-			Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+			Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
 		}}
 		return r
 	}))

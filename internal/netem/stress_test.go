@@ -68,7 +68,7 @@ func TestConcurrentFaultReconfiguration(t *testing.T) {
 		resp.Answers = []dnswire.RR{{
 			Name:  q.Questions[0].Name,
 			Class: dnswire.ClassINET, TTL: 30,
-			Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+			Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
 		}}
 		return resp
 	}))

@@ -81,7 +81,7 @@ func (g *gatedTransport) Exchange(from, to netip.Addr, query *dnswire.Message) (
 	resp := dnswire.NewResponse(query)
 	resp.Answers = []dnswire.RR{{
 		Name: query.Question().Name, Class: dnswire.ClassINET, TTL: 60,
-		Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.50")},
+		Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.50")},
 	}}
 	if cs, present, err := ecsopt.FromMessage(query); present && err == nil {
 		resp.EDNS = dnswire.NewEDNS()

@@ -13,7 +13,7 @@ func TestWhitelistProfileSendsOnlyToListedZones(t *testing.T) {
 	rg := newRig(t, p, authority.ScopeFixed(24))
 	// Add a second zone on the same authority, not whitelisted.
 	other := authority.NewZone("other.example.", 20)
-	other.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: addrOf("192.0.2.91")})
+	other.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: addrOf("192.0.2.91")})
 	rg.auth.AddZone(other)
 	dir := NewDirectory()
 	dir.Add("test.example.", rg.authAddr)

@@ -63,7 +63,7 @@ func TestNegativeCachingUsesSOAMinimum(t *testing.T) {
 	// Rig zone wildcard answers everything; use a separate zone without
 	// a wildcard to get NXDOMAIN.
 	nxZone := authority.NewZone("nx.example.", 20)
-	nxZone.MustAdd(dnswire.RR{Name: "exists.nx.example.", Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.9")}})
+	nxZone.MustAdd(dnswire.RR{Name: "exists.nx.example.", Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.9")}})
 	w.auth.AddZone(nxZone)
 	dir := NewDirectory()
 	dir.Add("test.example.", w.authAddr)
@@ -100,7 +100,7 @@ func TestNegativeCachingUsesSOAMinimum(t *testing.T) {
 func TestNegativeTTLHelper(t *testing.T) {
 	soa := dnswire.RR{
 		Name: "zone.example.", Class: dnswire.ClassINET, TTL: 100,
-		Data: dnswire.SOARData{Minimum: 60},
+		Data: &dnswire.SOARData{Minimum: 60},
 	}
 	if got := negativeTTL([]dnswire.RR{soa}); got != 60*time.Second {
 		t.Fatalf("negativeTTL = %v, want SOA minimum", got)

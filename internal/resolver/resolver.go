@@ -747,7 +747,7 @@ func danglingCNAME(answers []dnswire.RR, want dnswire.Type) (dnswire.Name, bool)
 		}
 	}
 	for i := len(answers) - 1; i >= 0; i-- {
-		if cn, ok := answers[i].Data.(dnswire.CNAMERData); ok {
+		if cn, ok := answers[i].Data.(*dnswire.CNAMERData); ok {
 			if !answered[cn.Target] {
 				return cn.Target, true
 			}
@@ -773,7 +773,7 @@ func (r *Resolver) retries() int {
 // defaulting to 30 seconds when no SOA is present.
 func negativeTTL(authority []dnswire.RR) time.Duration {
 	for _, rr := range authority {
-		if soa, ok := rr.Data.(dnswire.SOARData); ok {
+		if soa, ok := rr.Data.(*dnswire.SOARData); ok {
 			secs := soa.Minimum
 			if rr.TTL < secs {
 				secs = rr.TTL

@@ -38,8 +38,8 @@ func newRig(t *testing.T, profile Profile, scope authority.ScopeFunc) *rig {
 		Now:        n.Clock().Now,
 	})
 	z := authority.NewZone("test.example.", 20)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.80")})
-	z.MustAdd(dnswire.RR{Name: "test.example.", Data: dnswire.NSRData{Host: "ns1.test.example."}})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.80")})
+	z.MustAdd(dnswire.RR{Name: "test.example.", Data: &dnswire.NSRData{Host: "ns1.test.example."}})
 	rg.auth.AddZone(z)
 	rg.auth.SetLog(func(r authority.LogRecord) { rg.logs = append(rg.logs, r) })
 	n.Register(rg.authAddr, rg.auth)
@@ -371,7 +371,7 @@ func TestNoECSToRootByDefault(t *testing.T) {
 	// Wire a root zone onto the same authority and register it in the
 	// directory.
 	rootZone := authority.NewZone(".", 518400)
-	rootZone.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")})
+	rootZone.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")})
 	rg.auth.AddZone(rootZone)
 	dir := NewDirectory()
 	dir.Add(".", rg.authAddr)

@@ -14,53 +14,77 @@ import (
 // simTargetHandler stands in for a population of open resolvers behind
 // one in-process dnsserver: it answers every probe after a simulated
 // network round-trip delay, which is what makes concurrency pay off the
-// way it does against real targets.
+// way it does against real targets. A zero delay turns the benchmark
+// into a raw transport-throughput measurement — the loopback stand-in
+// for ZDNS-class scan rates — where the codec and pipeline hot paths
+// dominate instead of the simulated RTT.
 type simTargetHandler struct {
 	delay time.Duration
 }
 
 func (h simTargetHandler) HandleDNS(_ netip.Addr, q *dnswire.Message) *dnswire.Message {
-	time.Sleep(h.delay) //ecslint:ignore wallclock benchmark models per-probe latency with real sleeps
+	if h.delay > 0 {
+		time.Sleep(h.delay) //ecslint:ignore wallclock benchmark models per-probe latency with real sleeps
+	}
 	resp := dnswire.NewResponse(q)
 	resp.Answers = append(resp.Answers, dnswire.RR{
 		Name: q.Question().Name, TTL: 60,
-		Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")},
+		Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.53")},
 	})
 	return resp
 }
 
-// BenchmarkScanThroughput measures a full 1000-target scan through the
-// pipelined transport against the in-process dnsserver, serial vs
-// concurrent. Each simulated target costs a 1 ms round trip, so the
-// serial baseline is ≈ 1 s/op and concurrency 64 should be well over 5×
-// faster. Run with:
+// scanBenchCase is one point in the (delay, concurrency, shards, batch)
+// grid BenchmarkScanThroughput sweeps.
+type scanBenchCase struct {
+	name        string
+	delay       time.Duration
+	concurrency int
+	pipe        dnsclient.PipelineConfig
+}
+
+// BenchmarkScanThroughput measures full 1000-target scans through the
+// pipelined transport against the in-process dnsserver.
+//
+// The delayed cases model a real campaign: each simulated target costs
+// a 1 ms round trip, so the serial baseline is ≈ 1 s/op and concurrency
+// 64 should be well over 5× faster. The raw cases drop the simulated
+// RTT entirely and sweep the transport dimensions this package's
+// throughput rests on — one shard vs a per-CPU set, single-packet vs
+// batched (sendmmsg/recvmmsg) syscalls. Run with:
 //
 //	go test -bench ScanThroughput -benchtime 3x ./internal/scanner
 func BenchmarkScanThroughput(b *testing.B) {
-	srv := dnsserver.New(simTargetHandler{delay: time.Millisecond})
-	bound, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		b.Fatal(err)
+	const timeout = 5 * time.Second
+	cases := []scanBenchCase{
+		{name: "serial", delay: time.Millisecond, concurrency: 1,
+			pipe: dnsclient.PipelineConfig{Shards: 8, Timeout: timeout}},
+		{name: "concurrency64", delay: time.Millisecond, concurrency: 64,
+			pipe: dnsclient.PipelineConfig{Shards: 8, Timeout: timeout}},
+		{name: "raw/shards1", delay: 0, concurrency: 64,
+			pipe: dnsclient.PipelineConfig{Shards: 1, Timeout: timeout}},
+		{name: "raw/sharded", delay: 0, concurrency: 64,
+			pipe: dnsclient.PipelineConfig{Timeout: timeout}}, // Shards: GOMAXPROCS
+		{name: "raw/sharded-batch", delay: 0, concurrency: 64,
+			pipe: dnsclient.PipelineConfig{Timeout: timeout, Batch: true}},
 	}
-	defer srv.Close()
-	server := bound.String()
 
 	targets := make([]netip.Addr, 1000)
 	for i := range targets {
 		targets[i] = netip.AddrFrom4([4]byte{10, 42, byte(i >> 8), byte(i)})
 	}
 
-	for _, bc := range []struct {
-		name        string
-		concurrency int
-	}{
-		{"serial", 1},
-		{"concurrency64", 64},
-	} {
+	for _, bc := range cases {
 		b.Run(bc.name, func(b *testing.B) {
-			pipe, err := dnsclient.NewPipeline(dnsclient.PipelineConfig{
-				Sockets: 8, Timeout: 5 * time.Second,
-			})
+			srv := dnsserver.New(simTargetHandler{delay: bc.delay})
+			bound, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			server := bound.String()
+
+			pipe, err := dnsclient.NewPipeline(bc.pipe)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -86,6 +110,12 @@ func BenchmarkScanThroughput(b *testing.B) {
 			b.StopTimer()
 			qps := float64(len(targets)) * float64(b.N) / b.Elapsed().Seconds()
 			b.ReportMetric(qps, "queries/s")
+			// The server side must account for every probe: a scan bench
+			// that leaks or double-counts queries is not measuring a
+			// working transport.
+			if st := srv.Stats(); !st.Balanced() {
+				b.Fatalf("server accounting unbalanced after scan: %+v", st)
+			}
 		})
 	}
 }

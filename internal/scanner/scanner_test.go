@@ -120,7 +120,7 @@ func newScanRig(t *testing.T) *scanRig {
 		Now:        n.Clock().Now,
 	})
 	z := authority.NewZone(rg.zone, 30)
-	z.SetWildcard(dnswire.TypeA, dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.99")})
+	z.SetWildcard(dnswire.TypeA, &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.99")})
 	auth.AddZone(z)
 	auth.SetLog(rg.logs.Append)
 	n.Register(rg.authAddr, auth)
@@ -312,7 +312,7 @@ func TestScanValidatesResponses(t *testing.T) {
 	answer := func(resp *dnswire.Message) *dnswire.Message {
 		resp.Answers = append(resp.Answers, dnswire.RR{
 			Name: resp.Question().Name,
-			Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+			Data: &dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
 		})
 		return resp
 	}

@@ -56,10 +56,23 @@ go test -run NONE -bench 'BenchmarkCacheLookup|BenchmarkCacheChurn' \
 		-require BenchmarkCacheLookup,BenchmarkCacheChurn \
 		-out /tmp/BENCH_cache.smoke.json
 
+# Scan-throughput benchmark smoke: one pass over the full
+# (delay, shards, batch) grid — including the zero-alloc codec and
+# sharded-pipeline hot paths — validated against the BENCH_scan.json
+# schema. Full-length runs (see EXPERIMENTS.md) regenerate the
+# committed artifact.
+stage "bench smoke (scan throughput -> results/BENCH_scan.json schema)"
+go test -run NONE -bench BenchmarkScanThroughput \
+	-benchtime 1x -benchmem ./internal/scanner \
+	| go run ./cmd/benchjson \
+		-require BenchmarkScanThroughput \
+		-out /tmp/BENCH_scan.smoke.json
+
 stage "fuzz smoke tests (${FUZZTIME} each)"
-go test -fuzz FuzzUnpack    -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
-go test -fuzz FuzzNameParse -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
-go test -fuzz FuzzDecode    -fuzztime "$FUZZTIME" -run NONE ./internal/ecsopt
+go test -fuzz 'FuzzUnpack$'      -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
+go test -fuzz 'FuzzUnpackReuse$' -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
+go test -fuzz 'FuzzNameParse$'   -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
+go test -fuzz 'FuzzDecode$'      -fuzztime "$FUZZTIME" -run NONE ./internal/ecsopt
 
 echo ""
 echo "verify: all green"
