@@ -13,6 +13,14 @@
 // pkg/cpu header keys. Validation fails (exit 1) when no benchmark
 // lines parse, when a benchmark is missing its ns/op measurement, or
 // when a -require name has no matching benchmark.
+//
+// With -baseline, allocs/op is diffed against a committed artifact:
+//
+//	benchjson -baseline results/BENCH_cache.json -slack 25 < bench.txt
+//
+// A zero-alloc baseline row is strict (any allocation regresses it);
+// nonzero rows get -slack percent of headroom. -gate restricts the
+// diff to benchmark names matching a regexp.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -52,6 +61,9 @@ type Output struct {
 func main() {
 	out := flag.String("out", "", "write JSON here (default stdout)")
 	require := flag.String("require", "", "comma-separated benchmark names that must be present (prefix match on the base name)")
+	baseline := flag.String("baseline", "", "committed artifact to diff allocs/op against; any regression fails")
+	gate := flag.String("gate", "", "regexp selecting which benchmarks the -baseline diff gates (default: all)")
+	slack := flag.Float64("slack", 0, "percent allocs/op headroom for nonzero-baseline rows (zero-alloc rows are always strict)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("benchjson: unexpected arguments %q", flag.Args())
@@ -63,6 +75,19 @@ func main() {
 	}
 	if err := validate(parsed, splitRequire(*require)); err != nil {
 		log.Fatalf("benchjson: %v", err)
+	}
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		report, err := diffAllocs(parsed, base, *gate, *slack)
+		for _, line := range report {
+			fmt.Fprintln(os.Stderr, "benchjson: "+line)
+		}
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
 	}
 
 	data, err := json.MarshalIndent(parsed, "", "  ")
@@ -78,6 +103,72 @@ func main() {
 		log.Fatalf("benchjson: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(parsed.Benchmarks), *out)
+}
+
+// loadBaseline reads a committed benchjson artifact.
+func loadBaseline(path string) (*Output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out Output
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &out, nil
+}
+
+// diffAllocs compares allocs/op against the baseline for every
+// benchmark whose name matches gate (all when gate is empty).
+// Benchmarks absent from the baseline are reported but pass (the
+// baseline learns them on its next refresh). A zero-alloc baseline row
+// is a hard contract: any allocation is a regression regardless of
+// slack. Nonzero rows get slack percent of headroom, absorbing
+// pool-warmup jitter without letting steady leaks through. The
+// returned report always describes every comparison; err is non-nil if
+// any row regressed.
+func diffAllocs(got, base *Output, gate string, slack float64) ([]string, error) {
+	var gateRE *regexp.Regexp
+	if gate != "" {
+		re, err := regexp.Compile(gate)
+		if err != nil {
+			return nil, fmt.Errorf("bad -gate regexp: %w", err)
+		}
+		gateRE = re
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var report []string
+	var regressed []string
+	for _, b := range got.Benchmarks {
+		if gateRE != nil && !gateRE.MatchString(b.Name) {
+			continue
+		}
+		old, ok := baseBy[b.Name]
+		if !ok {
+			report = append(report, fmt.Sprintf("%s: not in baseline (new benchmark, passes)", b.Name))
+			continue
+		}
+		oldAllocs, okOld := old.Metrics["allocs/op"]
+		newAllocs, okNew := b.Metrics["allocs/op"]
+		if !okOld || !okNew {
+			return report, fmt.Errorf("%s: allocs/op missing (run benchmarks with -benchmem)", b.Name)
+		}
+		limit := oldAllocs * (1 + slack/100)
+		status := "ok"
+		if newAllocs > limit {
+			status = "REGRESSED"
+			regressed = append(regressed, b.Name)
+		}
+		report = append(report, fmt.Sprintf("%s: allocs/op %g -> %g (limit %g) %s",
+			b.Name, oldAllocs, newAllocs, limit, status))
+	}
+	if len(regressed) > 0 {
+		return report, fmt.Errorf("allocs/op regressed vs baseline: %s", strings.Join(regressed, ", "))
+	}
+	return report, nil
 }
 
 func splitRequire(spec string) []string {

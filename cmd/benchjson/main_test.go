@@ -73,3 +73,65 @@ func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
 		t.Fatalf("benchmarks: %+v", out.Benchmarks)
 	}
 }
+
+func benchWith(name string, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, NsPerOp: 100,
+		Metrics: map[string]float64{"allocs/op": allocs}}
+}
+
+func TestDiffAllocsZeroBaselineStrict(t *testing.T) {
+	base := &Output{Benchmarks: []Benchmark{benchWith("BenchmarkX/hot-4", 0)}}
+	got := &Output{Benchmarks: []Benchmark{benchWith("BenchmarkX/hot-4", 1)}}
+	if _, err := diffAllocs(got, base, "", 50); err == nil {
+		t.Fatal("zero-alloc baseline regression accepted despite slack")
+	}
+	got.Benchmarks[0].Metrics["allocs/op"] = 0
+	if report, err := diffAllocs(got, base, "", 0); err != nil {
+		t.Fatalf("clean zero-alloc row rejected: %v (%v)", err, report)
+	}
+}
+
+func TestDiffAllocsSlack(t *testing.T) {
+	base := &Output{Benchmarks: []Benchmark{benchWith("BenchmarkY/churn", 100)}}
+	got := &Output{Benchmarks: []Benchmark{benchWith("BenchmarkY/churn", 120)}}
+	if _, err := diffAllocs(got, base, "", 25); err != nil {
+		t.Fatalf("within-slack growth rejected: %v", err)
+	}
+	if _, err := diffAllocs(got, base, "", 10); err == nil {
+		t.Fatal("beyond-slack growth accepted")
+	}
+}
+
+func TestDiffAllocsGateAndNew(t *testing.T) {
+	base := &Output{Benchmarks: []Benchmark{benchWith("BenchmarkZ/a", 0)}}
+	got := &Output{Benchmarks: []Benchmark{
+		benchWith("BenchmarkZ/a", 5),
+		benchWith("BenchmarkZ/brandnew", 9),
+	}}
+	// Gate excludes the regressed row: passes.
+	if _, err := diffAllocs(got, base, "brandnew$", 0); err != nil {
+		t.Fatalf("gated-out regression still failed: %v", err)
+	}
+	// Ungated: the regression fails, the new benchmark passes.
+	report, err := diffAllocs(got, base, "", 0)
+	if err == nil {
+		t.Fatal("regression accepted")
+	}
+	foundNew := false
+	for _, line := range report {
+		if strings.Contains(line, "brandnew") && strings.Contains(line, "passes") {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Fatalf("new benchmark not reported as passing: %v", report)
+	}
+}
+
+func TestDiffAllocsMissingMetric(t *testing.T) {
+	base := &Output{Benchmarks: []Benchmark{benchWith("BenchmarkW", 3)}}
+	got := &Output{Benchmarks: []Benchmark{{Name: "BenchmarkW", Iterations: 1, NsPerOp: 1}}}
+	if _, err := diffAllocs(got, base, "", 0); err == nil {
+		t.Fatal("missing allocs/op metric accepted")
+	}
+}

@@ -4,6 +4,7 @@
 //	go run ./cmd/ecslint -list          # show the registered checks
 //	go run ./cmd/ecslint -disable mutexhold ./...
 //	go run ./cmd/ecslint -json ./...    # machine-readable output
+//	go run ./cmd/ecslint -sarif ./...   # SARIF 2.1.0 for code scanning
 //
 // Findings print one per line as `file:line: [check] message`, sorted,
 // and any finding makes the exit status 1 (2 = usage or load failure).
@@ -54,6 +55,7 @@ func run() int {
 	enable := fs.String("enable", "", "comma-separated checks to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated checks to skip")
 	jsonOut := fs.Bool("json", false, "emit findings (active and suppressed) as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings (active and suppressed) as SARIF 2.1.0")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ecslint [flags] [packages]\n")
 		fs.PrintDefaults()
@@ -113,6 +115,19 @@ func run() int {
 		return 2
 	}
 	findings, suppressed := lint.RunAll(pkgs, cfg)
+	if *sarifOut {
+		out, err := lint.SARIF(findings, suppressed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecslint: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
+	}
 	if *jsonOut {
 		out := jsonOutput{Findings: []jsonFinding{}}
 		for _, f := range findings {

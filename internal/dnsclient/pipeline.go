@@ -125,6 +125,9 @@ var waiterPool = sync.Pool{
 
 var timerPool sync.Pool
 
+// acquireTimer checks a reset timer out of the pool.
+//
+//ecspool:acquire
 func acquireTimer(d time.Duration) *time.Timer {
 	t, ok := timerPool.Get().(*time.Timer)
 	if !ok {
@@ -399,6 +402,8 @@ func (s *shard) batchReadLoop() {
 // deliver routes one raw datagram to the waiter registered under its
 // (source, ID) — copying the bytes into the waiter's buffer, never
 // parsing past the header on the reader goroutine.
+//
+//ecsalloc:zero
 func (s *shard) deliver(b []byte, ap netip.AddrPort) {
 	id, isResponse, ok := dnswire.PeekHeader(b)
 	if !ok || !isResponse {
@@ -437,6 +442,7 @@ func (s *shard) register(dest netip.AddrPort, w *waiter) (uint16, error) {
 		s.pending[key] = w
 		return id, nil
 	}
+	//ecsalloc:sink ID-space exhaustion: 65536 queries already in flight to one destination
 	return 0, fmt.Errorf("dnsclient: no free query ID for %s", dest)
 }
 
@@ -460,6 +466,8 @@ func (s *shard) reregister(key pendingKey, w *waiter) bool {
 // A false return means the reader (or failed sender) has already taken
 // the key and a signal on the waiter channel is imminent or delivered:
 // the caller must consume it before releasing the waiter.
+//
+//ecspool:guard
 func (s *shard) unregister(key pendingKey) bool {
 	s.mu.Lock()
 	_, ok := s.pending[key]
@@ -487,8 +495,11 @@ func (s *shard) failSend(key pendingKey) {
 
 // sendLoop drains the shard's send queue, coalescing waiting datagrams
 // into sendmmsg batches.
+//
+//ecsalloc:zero
 func (s *shard) sendLoop() {
 	defer s.p.readers.Done()
+	//ecsalloc:sink one-time setup before the send loop
 	reqs := make([]sendReq, 0, batchSize)
 	for {
 		reqs = reqs[:0]
@@ -519,6 +530,8 @@ func (s *shard) sendLoop() {
 // platform allows, then settles accounting and releases the buffers.
 // (Sent was counted at enqueue time; failures surface to the stranded
 // waiters, which count SendErrors.)
+//
+//ecsalloc:zero
 func (s *shard) flush(reqs []sendReq) {
 	// sendmmsg reports how many leading messages the kernel took; an
 	// error describes only the first unsent message. Retry the tail so a
@@ -556,6 +569,8 @@ func (p *Pipeline) Exchange(ctx context.Context, server string, q *dnswire.Messa
 // zero-allocation hot path: with a reused resp, the steady-state UDP
 // round trip performs no heap allocations. resp's previous contents are
 // overwritten per the UnpackInto reuse contract.
+//
+//ecsalloc:zero
 func (p *Pipeline) ExchangeInto(ctx context.Context, server string, q *dnswire.Message, resp *dnswire.Message) error {
 	if p.closed.Load() {
 		return ErrPipelineClosed
@@ -611,6 +626,7 @@ func (p *Pipeline) ExchangeInto(ctx context.Context, server string, q *dnswire.M
 				return nil
 			}
 			p.tcpFalls.Add(1)
+			//ecsalloc:sink TCP fallback, off the UDP hot path
 			return p.exchangeTCP(ctx, server, q, resp)
 		}
 		return nil
@@ -619,6 +635,7 @@ func (p *Pipeline) ExchangeInto(ctx context.Context, server string, q *dnswire.M
 		return lastErr
 	}
 	p.tcpFalls.Add(1)
+	//ecsalloc:sink TCP fallback, off the UDP hot path
 	return p.exchangeTCP(ctx, server, q, resp)
 }
 
@@ -669,6 +686,7 @@ func (s *shard) attempt(ctx context.Context, dest netip.AddrPort, question dnswi
 				s.consume(w)
 			}
 			s.p.sendErrors.Add(1)
+			//ecsalloc:sink error construction on a failed send, off the steady-state path
 			return fmt.Errorf("%w: %v", errSendFailed, err)
 		}
 	}
@@ -694,12 +712,14 @@ func (s *shard) attempt(ctx context.Context, dest netip.AddrPort, question dnswi
 			if !s.reregister(key, w) {
 				s.p.timeouts.Add(1)
 				s.release(w)
+				//ecsalloc:sink timed-out attempt, off the steady-state path
 				return fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
 			}
 		case <-timer.C:
 			if s.unregister(key) {
 				s.p.timeouts.Add(1)
 				s.release(w)
+				//ecsalloc:sink timed-out attempt, off the steady-state path
 				return fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
 			}
 			// Lost the race: a delivery is in flight. Consume it and
@@ -719,6 +739,7 @@ func (s *shard) attempt(ctx context.Context, dest netip.AddrPort, question dnswi
 			s.p.mismatched.Add(1)
 			s.p.timeouts.Add(1)
 			s.release(w)
+			//ecsalloc:sink timed-out attempt, off the steady-state path
 			return fmt.Errorf("%w: %s %s", ErrTimeout, dest, question)
 		case <-ctx.Done():
 			return s.abort(key, w, ctx.Err())
@@ -740,6 +761,8 @@ func (s *shard) abort(key pendingKey, w *waiter, err error) error {
 // consume drains the in-flight signal the reader (or sender) committed
 // to this waiter, then pools it. Only call after unregister returned
 // false.
+//
+//ecspool:consumer
 func (s *shard) consume(w *waiter) {
 	//ecslint:ignore ctxflow the reader has already committed this delivery with no intervening I/O; the receive completes promptly and must happen before the waiter can be pooled
 	<-w.ch

@@ -67,6 +67,7 @@ func (tc *templateCache) pack(q *dnswire.Message, buf []byte) (out []byte, hit b
 	if err != nil {
 		return nil, false, err
 	}
+	//ecsalloc:sink template-cache miss; installs once per question shape
 	tc.install(key, q, out)
 	return out, false, nil
 }

@@ -372,6 +372,7 @@ func (s *Server) udpWorker(pc net.PacketConn) {
 // serveUDPPacket classifies one admitted datagram: RRL refusal (shed or
 // slipped), then decode-and-dispatch via process.
 //
+//ecsalloc:zero
 //ecsinvariant:handler counters
 func (s *Server) serveUDPPacket(pc net.PacketConn, p udpPacket) {
 	if s.rrl != nil {
@@ -384,12 +385,14 @@ func (s *Server) serveUDPPacket(pc net.PacketConn, p udpPacket) {
 			// The slip: a truncated (TC=1) empty reply that steers the
 			// client to TCP, which is never rate-limited.
 			s.stats.slipped.Add(1)
+			//ecsalloc:sink refusal replies are off the fast path
 			if data := refusalReply(p.pkt, dnswire.RCodeNoError, true); data != nil {
 				pc.WriteTo(data, p.raddr)
 			}
 			return
 		}
 	}
+	//ecsalloc:sink the resolver handler owns its allocations; the transport stays zero-alloc
 	resp, query := s.process(p.from.Addr(), p.pkt)
 	if resp == nil {
 		return

@@ -98,12 +98,18 @@ func (m *Message) PackNoCompress() ([]byte, error) {
 // The returned slice aliases buf's backing array; the caller owns it
 // and must not hand it to a consumer that outlives the buffer's reuse
 // cycle without copying.
+//
+//ecsalloc:zero
 func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	return m.appendPack(buf, true)
 }
 
 var errTooManySections = errors.New("dnswire: section exceeds 65535 records")
 var errMessageTooLong = errors.New("dnswire: message exceeds 65535 bytes")
+var errNilRData = errors.New("dnswire: record with nil rdata")
+var errRDataTooLong = errors.New("dnswire: rdata exceeds 65535 bytes")
+var errTruncateSizeTooSmall = errors.New("dnswire: truncation size below header size")
+var errTruncateHeaderTooBig = errors.New("dnswire: header alone exceeds truncation size")
 
 func (m *Message) appendPack(buf []byte, compress bool) ([]byte, error) {
 	b := acquireBuilder(buf)
@@ -178,7 +184,7 @@ func (m *Message) packInto(b *builder, compress bool) ([]byte, error) {
 
 func packRR(b *builder, rr RR, compress bool) error {
 	if rr.Data == nil {
-		return errors.New("dnswire: record with nil rdata")
+		return errNilRData
 	}
 	b.nameOpt(rr.Name, compress)
 	b.uint16(uint16(rr.Type()))
@@ -189,7 +195,7 @@ func packRR(b *builder, rr RR, compress bool) error {
 	rr.Data.encode(b)
 	rdlen := len(b.buf) - lenOff - 2
 	if rdlen > 65535 {
-		return errors.New("dnswire: rdata exceeds 65535 bytes")
+		return errRDataTooLong
 	}
 	b.buf[lenOff] = uint8(rdlen >> 8)
 	b.buf[lenOff+1] = uint8(rdlen)
@@ -352,6 +358,8 @@ func Unpack(data []byte) (*Message, error) {
 // it references; a subsequent UnpackInto on the same Message
 // invalidates names, rdata, and option payloads from the previous
 // decode.
+//
+//ecsalloc:zero
 func UnpackInto(m *Message, data []byte) error {
 	st := unpackPool.Get().(*unpackState)
 	err := unpackInto(m, data, st)
@@ -360,6 +368,7 @@ func UnpackInto(m *Message, data []byte) error {
 }
 
 func unpackInto(m *Message, data []byte, st *unpackState) error {
+	//ecsalloc:sink parser never escapes the decode tree and stays on the stack
 	p := &parser{msg: data, st: st}
 	id, err := p.uint16()
 	if err != nil {
@@ -579,9 +588,11 @@ func (m *Message) TruncateTo(size int) ([]byte, error) {
 // the allocation-free variant for send paths that own a reusable
 // buffer. The returned slice aliases buf's backing array when it has
 // the capacity.
+//
+//ecsalloc:zero
 func (m *Message) AppendTruncateTo(buf []byte, size int) ([]byte, error) {
 	if size < 12 {
-		return nil, errors.New("dnswire: truncation size below header size")
+		return nil, errTruncateSizeTooSmall
 	}
 	base := len(buf)
 	for {
@@ -608,7 +619,7 @@ func (m *Message) AppendTruncateTo(buf []byte, size int) ([]byte, error) {
 				return nil, err
 			}
 			if len(data)-base > size {
-				return nil, errors.New("dnswire: header alone exceeds truncation size")
+				return nil, errTruncateHeaderTooBig
 			}
 			return data, nil
 		}

@@ -182,6 +182,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 		}
 		r, ok := old.(*ARData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &ARData{}
 		}
 		r.Addr = netip.AddrFrom4([4]byte(raw))
@@ -193,6 +194,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 		}
 		r, ok := old.(*AAAARData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &AAAARData{}
 		}
 		r.Addr = netip.AddrFrom16([16]byte(raw))
@@ -200,6 +202,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 	case TypeCNAME:
 		r, ok := old.(*CNAMERData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &CNAMERData{}
 		}
 		n, err := p.name(r.Target)
@@ -211,6 +214,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 	case TypeNS:
 		r, ok := old.(*NSRData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &NSRData{}
 		}
 		n, err := p.name(r.Host)
@@ -222,6 +226,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 	case TypePTR:
 		r, ok := old.(*PTRRData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &PTRRData{}
 		}
 		n, err := p.name(r.Target)
@@ -233,6 +238,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 	case TypeMX:
 		r, ok := old.(*MXRData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &MXRData{}
 		}
 		pref, err := p.uint16()
@@ -248,6 +254,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 	case TypeTXT:
 		r, ok := old.(*TXTRData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &TXTRData{}
 		}
 		ss := r.Strings[:0]
@@ -266,6 +273,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 			var slot *string
 			ss, slot = grow(ss)
 			if *slot != string(raw) {
+				//ecsalloc:sink TXT string changed between decodes; equal strings reuse the slot
 				*slot = string(raw)
 			}
 		}
@@ -277,6 +285,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 	case TypeSOA:
 		r, ok := old.(*SOARData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &SOARData{}
 		}
 		mname, err := p.name(r.MName)
@@ -306,6 +315,7 @@ func decodeRData(p *parser, t Type, rdlen int, old RData) (RData, error) {
 		}
 		r, ok := old.(*UnknownRData)
 		if !ok {
+			//ecsalloc:sink slot type changed; steady-state decode reuses the old rdata
 			r = &UnknownRData{}
 		}
 		r.T = t

@@ -81,9 +81,9 @@ func parseIgnores(pkg *Package, f *ast.File, src []byte) []ignoreDirective {
 }
 
 // directiveEndLine extends a directive anchored at line to the last line
-// of the smallest statement, declaration, spec, or field starting there.
-// Block-bearing statements stop at their opening brace. Returns line
-// itself when nothing starts on it.
+// of the smallest statement, declaration, spec, field, or struct-literal
+// element starting there. Block-bearing statements stop at their opening
+// brace. Returns line itself when nothing starts on it.
 func directiveEndLine(pkg *Package, f *ast.File, line int) int {
 	end := line
 	bestSpan := -1
@@ -92,7 +92,7 @@ func directiveEndLine(pkg *Package, f *ast.File, line int) int {
 			return false
 		}
 		switch n.(type) {
-		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field:
+		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field, *ast.KeyValueExpr:
 		default:
 			return true
 		}

@@ -67,6 +67,9 @@ func AllChecks() []Check {
 		ctxflowCheck,
 		counterpartitionCheck,
 		ecssemanticsCheck,
+		allocfreeCheck,
+		poollifeCheck,
+		retentionCheck,
 	}
 }
 
@@ -117,6 +120,16 @@ type Config struct {
 	// ECSSemanticsPackages lists the import paths subject to the ECS
 	// address-semantics rules (mask-before-use, scope ≤ source).
 	ECSSemanticsPackages []string
+
+	// AllocMustAnnotate lists functions (types.Func.FullName form) that
+	// must carry a //ecsalloc:zero annotation: the hot-path entry points
+	// whose zero-alloc contract is load-bearing. Un-annotating one is a
+	// finding, so the contract cannot be silently dropped.
+	AllocMustAnnotate []string
+
+	// RetentionPackages lists the import paths whose codec call sites
+	// are checked for aliases retained across a repack or pool return.
+	RetentionPackages []string
 }
 
 // DefaultConfig is the policy for this module: the allowlists mirror the
@@ -155,6 +168,23 @@ func DefaultConfig() *Config {
 			"ecsdns/internal/ecscache",
 			"ecsdns/internal/resolver",
 			"ecsdns/internal/cachesim",
+		},
+		// The PR 7 zero-alloc surface: losing one of these annotations
+		// would retire the whole contract without any finding.
+		AllocMustAnnotate: []string{
+			"(*ecsdns/internal/dnswire.Message).AppendPack",
+			"ecsdns/internal/dnswire.UnpackInto",
+			"(*ecsdns/internal/dnswire.Message).AppendTruncateTo",
+			"(*ecsdns/internal/dnsclient.Pipeline).ExchangeInto",
+			"(*ecsdns/internal/dnsclient.shard).deliver",
+			"(*ecsdns/internal/dnsclient.shard).sendLoop",
+			"(*ecsdns/internal/dnsclient.shard).flush",
+			"(*ecsdns/internal/dnsserver.Server).serveUDPPacket",
+		},
+		RetentionPackages: []string{
+			"ecsdns/internal/dnsclient",
+			"ecsdns/internal/dnsserver",
+			"ecsdns/internal/scanner",
 		},
 	}
 }

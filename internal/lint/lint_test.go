@@ -64,6 +64,13 @@ func fixtureConfig(check string) *Config {
 			"fixture/ecssemanticsbad",
 			"fixture/ecssemanticsgood",
 		},
+		AllocMustAnnotate: []string{
+			"fixture/allocfreebad.mustBeZero",
+		},
+		RetentionPackages: []string{
+			"fixture/retentionbad",
+			"fixture/retentiongood",
+		},
 	}
 }
 
@@ -85,6 +92,9 @@ func TestCheckGolden(t *testing.T) {
 		{"ctxflow", []string{"ctxflowgood", "ctxflowbad"}},
 		{"counterpartition", []string{"counterpartitiongood", "counterpartitionbad"}},
 		{"ecssemantics", []string{"ecssemanticsgood", "ecssemanticsbad"}},
+		{"allocfree", []string{"allocfreegood", "allocfreebad"}},
+		{"poollife", []string{"poollifegood", "poollifebad"}},
+		{"retention", []string{"retentiongood", "retentionbad"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {

@@ -1,0 +1,761 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ecsdns/internal/lint/flow"
+)
+
+// poollifeCheck verifies the lifecycle of sync.Pool-backed objects
+// (the transport's waiter/buffer/timer/builder pools) with a
+// flow-sensitive analysis over the CFG:
+//
+//   - use-after-Put: reading a pooled object on a path where it may
+//     already be back in the pool
+//   - double-Put: returning the same object twice on one path
+//   - leak: an exit path that neither returns the object to its pool
+//     nor hands it off (return/store/send/escaping call)
+//
+// Tracking starts at `x := pool.Get().(*T)` (the single-value form;
+// the comma-ok form signals a fallible fast path and is not tracked)
+// and at calls to functions annotated
+//
+//	//ecspool:acquire <why>
+//
+// Releases are direct pool.Put(x) calls, deferred Puts (path-paired,
+// so an early return before the defer is still a leak), and calls to
+// same-package functions the summary layer proves release their
+// parameter on every exit. Passing the object to a function that
+// stores it — or any dynamic/out-of-package call — transfers
+// ownership and ends tracking, which keeps shared-ownership protocols
+// (the pipeline's registered waiters) out of false positives.
+//
+// The DESIGN.md §10 waiter protocol gets its own rule: when an
+//
+//	//ecspool:guard <why>
+//
+// function (unregister) returns false, a signal is committed and the
+// object must be drained by an //ecspool:consumer function before
+// pooling — a direct pool.Put on the guard's false path is a finding.
+var poollifeCheck = Check{
+	Name: "poollife",
+	Doc:  "sync.Pool object used after Put, Put twice, leaked on an exit path, or pooled on a guard's false path",
+	Run:  runPoollife,
+}
+
+const poolPrefix = "//ecspool:"
+
+// plState is a bitmask of the per-path states a tracked object may be
+// in at a program point.
+type plState uint8
+
+const (
+	plLive    plState = 1 << iota // acquired, not yet released
+	plLiveDef                     // live with a deferred release pending
+	plRel                         // released (Put already ran)
+	plRelDef                      // released AND a deferred release pending
+	plEsc                         // ownership handed off; tracking over
+)
+
+// plFact maps tracked variables to their state mask. Facts are
+// immutable; transfers copy on write.
+type plFact map[*types.Var]plState
+
+func plEqual(a, b plFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func plJoin(a, b plFact) plFact {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(plFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+// plParamClass is the summary of what a callee does with one pointer
+// parameter.
+type plParamClass uint8
+
+const (
+	plBorrows  plParamClass = iota // reads it, ownership unchanged
+	plReleases                     // returns it to a pool on every exit
+	plStores                       // keeps a reference; ownership moves
+)
+
+type plSummary struct {
+	params []plParamClass
+}
+
+// plAnalyzer is the per-package analysis state.
+type plAnalyzer struct {
+	ctx       *Context
+	prog      *flow.Program
+	summaries map[*flow.FuncInfo]*plSummary
+	acquire   map[*types.Func]bool // //ecspool:acquire
+	guard     map[*types.Func]bool // //ecspool:guard
+}
+
+func runPoollife(ctx *Context) {
+	a := &plAnalyzer{
+		ctx:       ctx,
+		prog:      ctx.Pkg.Flow(),
+		summaries: make(map[*flow.FuncInfo]*plSummary),
+		acquire:   make(map[*types.Func]bool),
+		guard:     make(map[*types.Func]bool),
+	}
+	a.parseAnnotations()
+	for _, fi := range a.prog.Funcs {
+		if ctx.posInTestFile(fi.Body.Pos()) {
+			continue
+		}
+		a.checkFunc(fi)
+		a.checkGuardProtocol(fi)
+	}
+}
+
+// parseAnnotations indexes //ecspool verbs on function declarations
+// and reports malformed ones.
+func (a *plAnalyzer) parseAnnotations() {
+	docs := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, f := range a.ctx.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, cm := range fd.Doc.List {
+					docs[cm] = fd
+				}
+			}
+		}
+	}
+	for _, f := range a.ctx.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				rest, ok := strings.CutPrefix(cm.Text, poolPrefix)
+				if !ok {
+					continue
+				}
+				verb, _, _ := strings.Cut(rest, " ")
+				fd := docs[cm]
+				switch verb {
+				case "acquire", "guard", "consumer":
+					if fd == nil {
+						a.ctx.Reportf(cm.Pos(), "//ecspool:%s must be the doc comment of a function declaration", verb)
+						continue
+					}
+					obj := funcObj(a.ctx.Pkg, fd)
+					if obj == nil {
+						continue
+					}
+					switch verb {
+					case "acquire":
+						a.acquire[obj] = true
+					case "guard":
+						a.guard[obj] = true
+					}
+				default:
+					a.ctx.Reportf(cm.Pos(), "unknown ecspool verb %q; expected acquire, guard, or consumer", verb)
+				}
+			}
+		}
+	}
+}
+
+// analysisFor builds the dataflow problem for one function, with entry
+// pre-seeding tracked parameters (used by the summary layer).
+func (a *plAnalyzer) analysisFor(entry plFact) flow.Analysis[plFact] {
+	return flow.Analysis[plFact]{
+		Entry:     entry,
+		Unreached: nil,
+		Join:      plJoin,
+		Equal:     plEqual,
+		Transfer:  a.transfer,
+	}
+}
+
+// transfer applies one CFG node to the fact.
+func (a *plAnalyzer) transfer(n ast.Node, in plFact) plFact {
+	out := in
+	cloned := false
+	set := func(v *types.Var, st plState) {
+		if !cloned {
+			out = cloneFact(in)
+			cloned = true
+		}
+		if st == 0 {
+			delete(out, v)
+		} else {
+			out[v] = st
+		}
+	}
+
+	// Deferred releases flip the pending bit; other defers touching a
+	// tracked object conservatively end tracking.
+	if d, ok := n.(*ast.DeferStmt); ok {
+		for v, st := range in {
+			if rv := a.releaseArg(d.Call); rv == v {
+				ns := st
+				if ns&plLive != 0 {
+					ns = ns&^plLive | plLiveDef
+				}
+				if ns&plRel != 0 {
+					ns = ns&^plRel | plRelDef
+				}
+				set(v, ns)
+			} else if nodeMentions(a.ctx.Pkg.Info, d.Call, v) {
+				set(v, plEsc)
+			}
+		}
+		return out
+	}
+
+	for v, st := range in {
+		switch {
+		case a.nodeEscapes(n, v):
+			set(v, plEsc)
+		case a.nodeReleases(n, v):
+			ns := plState(0)
+			if st&(plLive|plRel) != 0 {
+				ns |= plRel
+			}
+			if st&(plLiveDef|plRelDef) != 0 {
+				ns |= plRelDef
+			}
+			if st&plEsc != 0 {
+				ns |= plEsc
+			}
+			set(v, ns)
+		case reboundByNode(a.ctx.Pkg.Info, n, v) && a.acquireExprOf(n) == nil:
+			set(v, 0)
+		}
+	}
+
+	// Fresh acquisition (re)binds its variable to live.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		if v := a.acquiredVar(as); v != nil {
+			set(v, plLive)
+		}
+	}
+	return out
+}
+
+func cloneFact(f plFact) plFact {
+	out := make(plFact, len(f)+1)
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// acquiredVar matches `x := pool.Get().(*T)` (single-value form) and
+// `x := acquireFn(...)` for //ecspool:acquire functions.
+func (a *plAnalyzer) acquiredVar(as *ast.AssignStmt) *types.Var {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if a.acquireExprOf(as) == nil {
+		return nil
+	}
+	if v, ok := a.ctx.Pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := a.ctx.Pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// acquireExprOf returns the acquisition expression of an assignment
+// node, or nil.
+func (a *plAnalyzer) acquireExprOf(n ast.Node) ast.Expr {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return nil
+	}
+	rhs := ast.Unparen(as.Rhs[0])
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok && ta.Type != nil {
+		if call, ok := ast.Unparen(ta.X).(*ast.CallExpr); ok && isPoolCall(a.ctx.Pkg.Info, call, "Get") {
+			return rhs
+		}
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if obj := a.prog.StaticCallee(call); obj != nil && a.acquire[obj] {
+			return rhs
+		}
+	}
+	return nil
+}
+
+// releaseArg returns the tracked-releasable variable of a call that is
+// a direct pool.Put(x) or a call to an always-releasing callee, else
+// nil.
+func (a *plAnalyzer) releaseArg(call *ast.CallExpr) *types.Var {
+	info := a.ctx.Pkg.Info
+	if isPoolCall(info, call, "Put") && len(call.Args) == 1 {
+		return directVar(info, call.Args[0])
+	}
+	if obj := a.prog.StaticCallee(call); obj != nil {
+		if fi := a.prog.FuncOf(obj); fi != nil && fi.Decl != nil {
+			sum := a.summaryOf(fi)
+			for i, arg := range call.Args {
+				if i < len(sum.params) && sum.params[i] == plReleases {
+					if v := directVar(info, arg); v != nil {
+						return v
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nodeReleases reports whether n contains a release of v (outside
+// nested function literals).
+func (a *plAnalyzer) nodeReleases(n ast.Node, v *types.Var) bool {
+	found := false
+	flow.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && a.releaseArg(call) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeEscapes reports whether n hands ownership of v away: returning
+// it, sending it, storing it in a composite/assignment, capturing it
+// in a literal, or passing it (directly) to a callee that stores it or
+// that the analysis cannot see into.
+func (a *plAnalyzer) nodeEscapes(n ast.Node, v *types.Var) bool {
+	info := a.ctx.Pkg.Info
+	escaped := false
+	flow.Inspect(n, func(m ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch t := m.(type) {
+		case *ast.FuncLit:
+			if nodeMentions(info, t.Body, v) {
+				escaped = true
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range t.Results {
+				if exprHoldsDirect(info, r, v) {
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if exprHoldsDirect(info, t.Value, v) {
+				escaped = true
+			}
+		case *ast.AssignStmt:
+			for _, r := range t.Rhs {
+				if a.acquireExprOf(t) == nil && exprHoldsDirect(info, r, v) {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			if a.callEscapes(t, v) {
+				escaped = true
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// callEscapes classifies passing v directly as a call argument.
+func (a *plAnalyzer) callEscapes(call *ast.CallExpr, v *types.Var) bool {
+	info := a.ctx.Pkg.Info
+	direct := -1
+	for i, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == v {
+			direct = i
+		}
+	}
+	if direct < 0 {
+		return false
+	}
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+			return false // len/cap/copy/append only read
+		}
+	}
+	if isPoolCall(info, call, "Put") {
+		return false // a release, not an escape
+	}
+	if obj := a.prog.StaticCallee(call); obj != nil {
+		if fi := a.prog.FuncOf(obj); fi != nil && fi.Decl != nil {
+			sum := a.summaryOf(fi)
+			for i, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == v {
+					if i < len(sum.params) {
+						return sum.params[i] == plStores
+					}
+				}
+			}
+			return false
+		}
+	}
+	return true // dynamic or out-of-package: ownership may move
+}
+
+// exprHoldsDirect reports whether e's value IS v (not a field, index,
+// or deref view of it).
+func exprHoldsDirect(info *types.Info, e ast.Expr, v *types.Var) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return info.Uses[t] == v
+	case *ast.ParenExpr:
+		return exprHoldsDirect(info, t.X, v)
+	case *ast.UnaryExpr:
+		return exprHoldsDirect(info, t.X, v)
+	case *ast.BinaryExpr:
+		return exprHoldsDirect(info, t.X, v) || exprHoldsDirect(info, t.Y, v)
+	case *ast.CompositeLit:
+		for _, el := range t.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if exprHoldsDirect(info, el, v) {
+				return true
+			}
+		}
+	case *ast.TypeAssertExpr:
+		return exprHoldsDirect(info, t.X, v)
+	}
+	return false
+}
+
+// nodeMentions reports whether any identifier in n resolves to v.
+func nodeMentions(info *types.Info, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// reboundByNode reports whether n assigns a fresh (non-acquire) value
+// to v itself.
+func reboundByNode(info *types.Info, n ast.Node, v *types.Var) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if info.Uses[id] == v || info.Defs[id] == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// summaryOf classifies each pointer parameter of fi; call cycles cut
+// to all-borrows.
+func (a *plAnalyzer) summaryOf(fi *flow.FuncInfo) *plSummary {
+	if s, ok := a.summaries[fi]; ok {
+		return s
+	}
+	a.summaries[fi] = &plSummary{} // cycle cut: borrows
+	info := a.ctx.Pkg.Info
+
+	var params []*types.Var
+	for _, field := range fi.Decl.Type.Params.List {
+		for _, nm := range field.Names {
+			v, _ := info.Defs[nm].(*types.Var)
+			params = append(params, v)
+		}
+	}
+	sum := &plSummary{params: make([]plParamClass, len(params))}
+	entry := make(plFact)
+	for _, v := range params {
+		if v == nil {
+			continue
+		}
+		if _, ok := v.Type().Underlying().(*types.Pointer); ok {
+			entry[v] = plLive
+		}
+	}
+	if len(entry) > 0 {
+		res := flow.Solve(fi.CFG(), a.analysisFor(entry))
+		for i, v := range params {
+			if v == nil {
+				continue
+			}
+			if _, tracked := entry[v]; !tracked {
+				continue
+			}
+			var st plState
+			for _, blk := range fi.CFG().ExitBlocks() {
+				st |= res.Out[blk][v]
+			}
+			switch {
+			case st&plEsc != 0:
+				sum.params[i] = plStores
+			case st != 0 && st&plLive == 0:
+				sum.params[i] = plReleases
+			}
+		}
+	}
+	a.summaries[fi] = sum
+	return sum
+}
+
+// checkFunc solves the lifecycle analysis for one function and scans
+// for use-after-Put, double-Put, and exit-path leaks.
+func (a *plAnalyzer) checkFunc(fi *flow.FuncInfo) {
+	info := a.ctx.Pkg.Info
+	// Cheap pre-filter: no pool acquisition, nothing to do.
+	hasAcquire := false
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && a.acquiredVar(as) != nil {
+			hasAcquire = true
+		}
+		return !hasAcquire
+	})
+	if !hasAcquire {
+		return
+	}
+
+	g := fi.CFG()
+	res := flow.Solve(g, a.analysisFor(make(plFact)))
+
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			before := res.Before(blk, i)
+			if len(before) == 0 {
+				continue
+			}
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			for _, v := range sortedVars(before) {
+				if before[v]&(plRel|plRelDef) == 0 {
+					continue
+				}
+				if a.nodeReleases(n, v) {
+					a.ctx.Reportf(n.Pos(), "%s may already be back in its pool on this path; a second Put corrupts the pool", v.Name())
+					continue
+				}
+				if nodeUsesVar(info, n, v) {
+					a.ctx.Reportf(n.Pos(), "%s is used after being returned to its pool on at least one path", v.Name())
+				}
+			}
+		}
+	}
+
+	for _, blk := range g.ExitBlocks() {
+		out := res.Out[blk]
+		for _, v := range sortedVars(out) {
+			if out[v]&plLive != 0 {
+				a.ctx.Reportf(exitPos(fi, blk),
+					"an exit path of %s neither returns %s to its pool nor hands it off; the pooled object leaks", fi.Name(), v.Name())
+			}
+		}
+	}
+}
+
+// nodeUsesVar reports a read of v in n, excluding bare left-hand-side
+// rebinds (writing a fresh value is not a use of the stale one).
+func nodeUsesVar(info *types.Info, n ast.Node, v *types.Var) bool {
+	excluded := make(map[*ast.Ident]bool)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				excluded[id] = true
+			}
+		}
+	}
+	used := false
+	flow.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == v && !excluded[id] {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func sortedVars(f plFact) []*types.Var {
+	vars := make([]*types.Var, 0, len(f))
+	for v := range f {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	return vars
+}
+
+// checkGuardProtocol enforces the §10 waiter rule: in the false branch
+// (or false continuation, when the true branch terminates) of an
+// //ecspool:guard call, a direct pool.Put is forbidden — the signal is
+// committed and must be drained by an //ecspool:consumer first.
+func (a *plAnalyzer) checkGuardProtocol(fi *flow.FuncInfo) {
+	info := a.ctx.Pkg.Info
+
+	// Map each if-statement to its enclosing statement list, for the
+	// "true branch returns, false path continues below" shape.
+	type listPos struct {
+		list []ast.Stmt
+		idx  int
+	}
+	enclosing := make(map[*ast.IfStmt]listPos)
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch t := n.(type) {
+		case *ast.BlockStmt:
+			list = t.List
+		case *ast.CaseClause:
+			list = t.Body
+		case *ast.CommClause:
+			list = t.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			if is, ok := st.(*ast.IfStmt); ok {
+				enclosing[is] = listPos{list, i}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		is, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		guardName, negated, ok := a.guardCond(is.Cond)
+		if !ok {
+			return true
+		}
+		report := func(region ...ast.Node) {
+			for _, r := range region {
+				if r == nil {
+					continue
+				}
+				ast.Inspect(r, func(m ast.Node) bool {
+					if _, isLit := m.(*ast.FuncLit); isLit {
+						return false
+					}
+					if call, isCall := m.(*ast.CallExpr); isCall && isPoolCall(info, call, "Put") {
+						a.ctx.Reportf(call.Pos(),
+							"direct Put on the %s()==false path: the guard reports a committed signal, which must be drained by an //ecspool:consumer function before pooling", guardName)
+					}
+					return true
+				})
+			}
+		}
+		if negated {
+			report(is.Body)
+			return true
+		}
+		if is.Else != nil {
+			report(is.Else)
+			return true
+		}
+		if lp, ok := enclosing[is]; ok && stmtTerminates(is.Body) {
+			for _, st := range lp.list[lp.idx+1:] {
+				report(st)
+			}
+		}
+		return true
+	})
+}
+
+// guardCond matches `guard(...)` and `!guard(...)` conditions against
+// //ecspool:guard functions.
+func (a *plAnalyzer) guardCond(cond ast.Expr) (name string, negated bool, ok bool) {
+	e := ast.Unparen(cond)
+	if u, isNot := e.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		negated = true
+		e = ast.Unparen(u.X)
+	}
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	obj := a.prog.StaticCallee(call)
+	if obj == nil || !a.guard[obj] {
+		return "", false, false
+	}
+	return obj.Name(), negated, true
+}
+
+// stmtTerminates reports whether a block always leaves the enclosing
+// statement list (return / branch as its last statement).
+func stmtTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+// isPoolCall matches `p.<method>(...)` where p is a sync.Pool or
+// *sync.Pool.
+func isPoolCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := typeOfExpr(info, sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// directVar resolves a bare identifier argument to its variable.
+func directVar(info *types.Info, e ast.Expr) *types.Var {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

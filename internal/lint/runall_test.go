@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestDirectiveCoversStatementSpan pins the statement-span rule from
@@ -19,7 +20,9 @@ func TestDirectiveCoversStatementSpan(t *testing.T) {
 
 	// covered(): time.Now on lines 10 and 13 both sit inside the
 	// directive's statement span. notCovered(): line 20 is inside the
-	// span, line 22 is the next statement and must survive.
+	// span, line 22 is the next statement and must survive. schedule:
+	// the directive above the stamps element covers its whole
+	// multi-line struct-literal value (lines 34-35).
 	gotActive := make(map[int]bool)
 	for _, f := range active {
 		if f.Check != "wallclock" {
@@ -39,7 +42,7 @@ func TestDirectiveCoversStatementSpan(t *testing.T) {
 			t.Errorf("suppressed finding on line %d lost its justification", f.Line)
 		}
 	}
-	for _, want := range []int{10, 13, 20} {
+	for _, want := range []int{10, 13, 20, 34, 35} {
 		if !gotSuppressed[want] {
 			t.Errorf("line %d not suppressed (got %v)", want, gotSuppressed)
 		}
@@ -55,6 +58,9 @@ var flowFixtures = []string{
 	"counterpartitionbad", "counterpartitiongood",
 	"ecssemanticsbad", "ecssemanticsgood",
 	"wallclockbad", "ignorefixture",
+	"allocfreebad", "allocfreegood",
+	"poollifebad", "poollifegood",
+	"retentionbad", "retentiongood",
 }
 
 // allChecksFixtureConfig enables every registered check against the
@@ -153,5 +159,36 @@ func BenchmarkLintTree(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Run(pkgs, cfg)
+	}
+}
+
+// TestLintTreeBudget runs the full check table (including the three
+// interprocedural allocation/pool/retention passes) over the real
+// module tree and fails if the pass blows a generous wall-time budget.
+// The point is not a tight performance bound — CI machines vary — but a
+// tripwire: an accidentally exponential summary walk or a worklist that
+// stops converging shows up as minutes, not seconds.
+func TestLintTreeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint pass: skipped with -short")
+	}
+	const budget = 60 * time.Second
+	start := time.Now() //ecslint:ignore wallclock measures real analyzer wall time
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	loaded := time.Since(start)
+
+	runStart := time.Now() //ecslint:ignore wallclock measures real analyzer wall time
+	RunAll(pkgs, DefaultConfig())
+	ran := time.Since(runStart)
+	t.Logf("load %v, analyze %v (%d packages, %d checks)", loaded, ran, len(pkgs), len(AllChecks()))
+	if ran > budget {
+		t.Fatalf("full lint pass took %v, over the %v budget", ran, budget)
 	}
 }

@@ -1,0 +1,149 @@
+package lint
+
+import "encoding/json"
+
+// SARIF renders findings as a minimal, stable SARIF 2.1.0 log — the
+// subset GitHub code scanning ingests. Rules come from the registered
+// check table (index order = AllChecks order); suppressed findings are
+// included with an inSource suppression carrying the directive's
+// justification, so they surface as dismissed alerts rather than
+// vanishing. Output is deterministic for a given finding list: struct
+// field order fixes the JSON key order, and findings arrive sorted
+// from RunAll.
+func SARIF(active, suppressed []Finding) ([]byte, error) {
+	ruleIndex := make(map[string]int)
+	var rules []sarifRule
+	for i, c := range AllChecks() {
+		ruleIndex[c.Name] = i
+		rules = append(rules, sarifRule{
+			ID: c.Name,
+			ShortDescription: &sarifMessage{
+				Text: c.Doc,
+			},
+		})
+	}
+	ruleIndex["directive"] = len(rules)
+	rules = append(rules, sarifRule{
+		ID: "directive",
+		ShortDescription: &sarifMessage{
+			Text: "malformed //ecslint:ignore directive",
+		},
+	})
+
+	results := []sarifResult{}
+	add := func(f Finding, suppressedBy string) {
+		r := sarifResult{
+			RuleID:    f.Check,
+			RuleIndex: ruleIndex[f.Check],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       f.File,
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Line,
+						StartColumn: f.Col,
+					},
+				},
+			}},
+		}
+		if suppressedBy != "" {
+			r.Suppressions = []sarifSuppression{{
+				Kind:          "inSource",
+				Justification: suppressedBy,
+			}}
+		}
+		results = append(results, r)
+	}
+	for _, f := range active {
+		add(f, "")
+	}
+	for _, f := range suppressed {
+		add(f, f.IgnoredBy)
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{
+				Driver: sarifDriver{
+					Name:           "ecslint",
+					InformationURI: "https://github.com/ecsdns/ecsdns",
+					Rules:          rules,
+				},
+			},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// The SARIF 2.1.0 subset below is a stable output schema: field names
+// and order are part of the CLI contract. Add fields, never rename.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string        `json:"id"`
+	ShortDescription *sarifMessage `json:"shortDescription,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSARIFGolden pins the SARIF 2.1.0 output byte-for-byte against a
+// golden file, using hand-built findings so the log is independent of
+// the fixture tree and the host. Run with -update to regenerate.
+func TestSARIFGolden(t *testing.T) {
+	active := []Finding{
+		{File: "internal/x/x.go", Line: 7, Col: 3, Check: "wallclock", Msg: "time.Now outside the allowlist"},
+		{File: "internal/y/y.go", Line: 12, Col: 9, Check: "allocfree", Msg: "make allocates on the //ecsalloc:zero path of y.hot"},
+	}
+	suppressed := []Finding{
+		{File: "internal/x/x.go", Line: 21, Col: 3, Check: "poollife", Msg: "t is used after being returned to its pool on at least one path", IgnoredBy: "fixture: justified"},
+	}
+	got, err := SARIF(active, suppressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "golden", "sarif.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output diverges from %s\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestSARIFShape checks structural invariants that must hold for any
+// finding list: one run, every result's ruleId resolves through
+// ruleIndex into the rules table, and suppressed findings carry an
+// inSource suppression.
+func TestSARIFShape(t *testing.T) {
+	t.Parallel()
+	active := []Finding{{File: "a.go", Line: 1, Col: 1, Check: "retention", Msg: "m"}}
+	suppressed := []Finding{{File: "b.go", Line: 2, Col: 2, Check: "directive", Msg: "m2", IgnoredBy: "why"}}
+	raw, err := SARIF(active, suppressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID       string `json:"ruleId"`
+				RuleIndex    int    `json:"ruleIndex"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, runs %d; want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "ecslint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if want := len(AllChecks()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d (all checks + directive)", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Fatalf("ruleIndex %d out of range", r.RuleIndex)
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("ruleIndex %d resolves to %q, want %q", r.RuleIndex, got, r.RuleID)
+		}
+	}
+	if len(run.Results[0].Suppressions) != 0 {
+		t.Errorf("active finding carries suppressions")
+	}
+	if len(run.Results[1].Suppressions) != 1 || run.Results[1].Suppressions[0].Kind != "inSource" {
+		t.Errorf("suppressed finding: %+v", run.Results[1].Suppressions)
+	}
+}

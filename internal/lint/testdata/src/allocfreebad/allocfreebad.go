@@ -1,0 +1,46 @@
+// Package allocfreebad puts every allocation class allocfree knows on
+// an //ecsalloc:zero path, plus a bad directive verb and a function
+// missing its mandated annotation.
+package allocfreebad
+
+import "fmt"
+
+type rec struct{ n int }
+
+var sink any
+
+// helperAlloc is reached from hotPath through the call graph.
+func helperAlloc() {
+	sink = new(rec)
+}
+
+// hotPath claims the zero contract and breaks it on every line.
+//
+//ecsalloc:zero
+func hotPath(name []byte, vals []int) string {
+	m := make([]byte, 16)
+	r := &rec{n: 1}
+	var grown []int
+	grown = append(grown, vals...)
+	sink = len(grown)
+	s := string(name)
+	s = s + "!"
+	go helperAlloc()
+	f := func() int { return r.n }
+	fmt.Println(f())
+	helperAlloc()
+	lit := []int{1, 2}
+	tab := map[string]int{"a": 1}
+	_ = m
+	_ = lit
+	_ = tab
+	return s
+}
+
+//ecsalloc:bogus not a real verb
+
+// mustBeZero is on the fixture AllocMustAnnotate list but carries no
+// annotation.
+func mustBeZero(b []byte) []byte {
+	return b
+}

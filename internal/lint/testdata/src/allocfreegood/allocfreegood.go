@@ -1,0 +1,65 @@
+// Package allocfreegood exercises every allocfree exemption: appends
+// into caller-provided buffers, pooled objects, pointer boxing,
+// comparison-only string conversions, range-operand literals, and an
+// explicit sink.
+package allocfreegood
+
+import "sync"
+
+type obj struct{ n int }
+
+var pool = sync.Pool{New: func() any { return new(obj) }}
+
+// putUint16 is a static callee on the zero path; it must be clean too.
+func putUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+// packOK appends into the caller's buffer through a helper.
+//
+//ecsalloc:zero
+func packOK(b []byte, v uint16) []byte {
+	b = append(b, 0x01)
+	return putUint16(b, v)
+}
+
+// reuseName compares names without allocating and sinks the one cold
+// conversion.
+//
+//ecsalloc:zero
+func reuseName(old, scratch []byte) (string, bool) {
+	if string(old) == string(scratch) {
+		return "", false
+	}
+	//ecsalloc:sink names change rarely; the copy is the cold path
+	return string(scratch), true
+}
+
+// pooled round-trips a pooled object: pointer boxing through the pool
+// interface is exempt, as is ranging over a constant-shaped literal.
+//
+//ecsalloc:zero
+func pooled(b []byte) []byte {
+	o := pool.Get().(*obj)
+	for _, v := range []int{1, 2, 3} {
+		o.n += v
+	}
+	b = putUint16(b, uint16(o.n))
+	pool.Put(o)
+	return b
+}
+
+type encoder struct{ last int }
+
+var defaultEncoder any = &encoder{}
+
+// pointerBoxOK stores a pointer into an interface: no boxing
+// allocation, the pointer is the word.
+//
+//ecsalloc:zero
+func pointerBoxOK(e *encoder) any {
+	if e == nil {
+		return defaultEncoder
+	}
+	return e
+}

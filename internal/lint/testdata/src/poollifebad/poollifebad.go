@@ -1,0 +1,79 @@
+// Package poollifebad misuses pooled objects in every way poollife
+// detects: double put, use after put, a leaking error path, and direct
+// puts on a guard's false path.
+package poollifebad
+
+import "sync"
+
+type token struct {
+	n  int
+	ch chan int
+}
+
+var pool = sync.Pool{New: func() any { return &token{ch: make(chan int, 1)} }}
+
+// registered reports whether the token is still queued.
+//
+//ecspool:guard
+func registered(t *token) bool {
+	return t.n == 0
+}
+
+// doublePut pools the token twice on the error path.
+func doublePut(fail bool) {
+	t := pool.Get().(*token)
+	if fail {
+		pool.Put(t)
+	}
+	pool.Put(t)
+}
+
+// useAfterPut reads the token after pooling it.
+func useAfterPut() int {
+	t := pool.Get().(*token)
+	pool.Put(t)
+	return t.n
+}
+
+// leakOnError returns early without pooling the token.
+func leakOnError(fail bool) int {
+	t := pool.Get().(*token)
+	if fail {
+		return 0
+	}
+	n := t.n
+	pool.Put(t)
+	return n
+}
+
+// putOnFalsePath pools directly when the guard reports a committed
+// signal.
+func putOnFalsePath() {
+	t := pool.Get().(*token)
+	if registered(t) {
+		pool.Put(t)
+	} else {
+		pool.Put(t)
+	}
+}
+
+// putAfterGuardReturn pools inside the negated-guard branch.
+func putAfterGuardReturn() {
+	t := pool.Get().(*token)
+	if !registered(t) {
+		pool.Put(t)
+		return
+	}
+	pool.Put(t)
+}
+
+// putAfterGuardedReturn pools in the statements after a guarded
+// early-return: the remaining list is the false path.
+func putAfterGuardedReturn() {
+	t := pool.Get().(*token)
+	if registered(t) {
+		pool.Put(t)
+		return
+	}
+	pool.Put(t)
+}

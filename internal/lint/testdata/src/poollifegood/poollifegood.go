@@ -1,0 +1,89 @@
+// Package poollifegood uses pooled objects correctly: balanced and
+// deferred puts, escape hand-offs, acquire/release helpers, and the
+// guard/consumer drain protocol.
+package poollifegood
+
+import "sync"
+
+type token struct {
+	n  int
+	ch chan int
+}
+
+var pool = sync.Pool{New: func() any { return &token{ch: make(chan int, 1)} }}
+
+// balanced puts the token back on every path after its last use.
+func balanced(fail bool) int {
+	t := pool.Get().(*token)
+	if fail {
+		t.n = 0
+		pool.Put(t)
+		return 0
+	}
+	n := t.n
+	pool.Put(t)
+	return n
+}
+
+// deferred releases via defer: the exit-path leak rule must honor it.
+func deferred() int {
+	t := pool.Get().(*token)
+	defer pool.Put(t)
+	return t.n
+}
+
+// handoff escapes the token to the caller, which owns it now.
+func handoff() *token {
+	t := pool.Get().(*token)
+	t.n = 1
+	return t
+}
+
+// acquire is the annotated constructor; the Get inside is the pool's
+// own plumbing, not a tracked acquisition.
+//
+//ecspool:acquire
+func acquire() *token {
+	return pool.Get().(*token)
+}
+
+// release returns its argument to the pool; callers inherit the fact
+// through its summary.
+func release(t *token) {
+	pool.Put(t)
+}
+
+// viaHelpers acquires and releases through the annotated helpers.
+func viaHelpers() int {
+	t := acquire()
+	n := t.n
+	release(t)
+	return n
+}
+
+// registered reports whether the token is still queued; false means a
+// committed signal is in flight.
+//
+//ecspool:guard
+func registered(t *token) bool {
+	return t.n == 0
+}
+
+// consume drains the committed signal before pooling.
+//
+//ecspool:consumer
+func consume(t *token) {
+	<-t.ch
+	pool.Put(t)
+}
+
+// protocol pools directly only on the guard's true path and hands the
+// false path to the consumer.
+func protocol() {
+	t := acquire()
+	if registered(t) {
+		pool.Put(t)
+	} else {
+		consume(t)
+	}
+}

@@ -1,0 +1,54 @@
+// Package retentionbad retains aliases into reuse buffers across the
+// repack or pool return that invalidates them.
+package retentionbad
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// appendFrame packs one frame into dst.
+func appendFrame(dst []byte, payload byte) []byte {
+	return append(dst, 0x00, payload)
+}
+
+func send(b []byte) {}
+
+type held struct {
+	b []byte
+}
+
+// useAfterPut reads the packed bytes after the buffer went back to its
+// pool.
+func useAfterPut() byte {
+	bp := bufPool.Get().(*[]byte)
+	data := appendFrame((*bp)[:0], 1)
+	bufPool.Put(bp)
+	return data[0]
+}
+
+// useAfterRepack reads the first frame after the buffer was repacked.
+func useAfterRepack() byte {
+	var buf [64]byte
+	first := appendFrame(buf[:0], 1)
+	second := appendFrame(buf[:0], 2)
+	send(second)
+	return first[0]
+}
+
+// aliasChain loses the bytes through a second-order alias.
+func aliasChain() byte {
+	var buf [64]byte
+	first := appendFrame(buf[:0], 1)
+	alias := first[:1]
+	_ = appendFrame(buf[:0], 2)
+	return alias[0]
+}
+
+// fieldAlias stashes the alias in a struct field across the repack.
+func fieldAlias() byte {
+	var buf [64]byte
+	var h held
+	h.b = appendFrame(buf[:0], 1)
+	_ = appendFrame(buf[:0], 2)
+	return h.b[0]
+}

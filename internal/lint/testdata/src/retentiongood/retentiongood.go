@@ -1,0 +1,45 @@
+// Package retentiongood respects the codec buffer-reuse contract:
+// aliases are consumed before any repack or pool return, or copied out
+// first.
+package retentiongood
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// appendFrame packs one frame into dst, following the append
+// convention the retention check keys on.
+func appendFrame(dst []byte, payload byte) []byte {
+	return append(dst, 0x00, payload)
+}
+
+func send(b []byte) {}
+
+// useBeforeRepack consumes each packed frame before the next repack.
+func useBeforeRepack() {
+	var buf [64]byte
+	first := appendFrame(buf[:0], 1)
+	send(first)
+	second := appendFrame(buf[:0], 2)
+	send(second)
+}
+
+// copyBeforePut copies the packed bytes out before pooling the buffer.
+func copyBeforePut() []byte {
+	bp := bufPool.Get().(*[]byte)
+	data := appendFrame((*bp)[:0], 1)
+	out := make([]byte, len(data))
+	copy(out, data)
+	bufPool.Put(bp)
+	return out
+}
+
+// rebindAcrossRepack rebinds the alias at each repack, the loop idiom.
+func rebindAcrossRepack(n int) {
+	var buf [64]byte
+	data := appendFrame(buf[:0], 0)
+	for i := 0; i < n; i++ {
+		send(data)
+		data = appendFrame(buf[:0], byte(i))
+	}
+}

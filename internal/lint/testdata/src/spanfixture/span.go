@@ -22,3 +22,17 @@ func notCovered() time.Duration {
 	b := time.Now()
 	return a.Sub(b)
 }
+
+// schedule pins the struct-literal element span: a directive above a
+// field element covers the element's full multi-line value.
+var schedule = struct {
+	stamps []time.Time
+	limit  time.Duration
+}{
+	//ecslint:ignore wallclock fixture: covers the whole multi-line element value
+	stamps: []time.Time{
+		time.Now(),
+		time.Now(),
+	},
+	limit: time.Second,
+}
