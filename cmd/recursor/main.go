@@ -11,6 +11,13 @@
 //	         [-cache-entries 100000] [-cache-shards 8] \
 //	         [-negative-ttl 30s] [-min-ttl 0] [-max-ttl 0] [-no-coalesce]
 //
+// With -upstreams, cache misses go through the resilient upstream
+// pool instead of the single -upstream socket: health-gated failover
+// across the listed servers, optional request hedging (-hedge),
+// per-upstream circuit breakers (-breaker), and the adaptive EDNS
+// payload ladder (-edns-ladder) that steps 4096 → 1232 → TCP on
+// truncation.
+//
 // Profiles: compliant, google, jammed, ignore-scope, cap22,
 // long-prefix, private-prefix, loopback-prober, none.
 package main
@@ -24,6 +31,8 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,6 +40,7 @@ import (
 	"ecsdns/internal/dnsserver"
 	"ecsdns/internal/dnswire"
 	"ecsdns/internal/resolver"
+	"ecsdns/internal/upstreams"
 )
 
 // socketTransport adapts the stub client to the resolver's Transport
@@ -47,10 +57,85 @@ func (t *socketTransport) Exchange(_, _ netip.Addr, q *dnswire.Message) (*dnswir
 	return resp, time.Since(start), err
 }
 
+// poolTransport adapts the upstream pool's exchange primitives onto
+// real sockets: each synthetic pool address maps to one configured
+// host:port. UDP attempts are single-shot with no client-side retries
+// or fallback — the pool's ladder owns transport escalation — and TCP
+// goes straight to a framed connection.
+type poolTransport struct {
+	udp     *dnsclient.Client
+	tcp     *dnsclient.Client
+	targets map[netip.Addr]string
+}
+
+func (t *poolTransport) Exchange(_, to netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	server, ok := t.targets[to]
+	if !ok {
+		return nil, 0, fmt.Errorf("recursor: no socket for pool address %v", to)
+	}
+	start := time.Now() //ecslint:ignore wallclock measures real upstream RTT
+	resp, err := t.udp.ExchangeUDP(server, q)
+	return resp, time.Since(start), err
+}
+
+func (t *poolTransport) ExchangeTCP(_, to netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	server, ok := t.targets[to]
+	if !ok {
+		return nil, 0, fmt.Errorf("recursor: no socket for pool address %v", to)
+	}
+	start := time.Now() //ecslint:ignore wallclock measures real upstream RTT
+	resp, err := t.tcp.Exchange(server, q)
+	return resp, time.Since(start), err
+}
+
+// parsePoolSpec parses "host:port[/priority[/weight]],..." into pool
+// upstreams on synthetic 192.0.2.x addresses plus the socket map the
+// poolTransport routes by.
+func parsePoolSpec(spec string) ([]upstreams.Upstream, map[netip.Addr]string, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) > 254 {
+		return nil, nil, fmt.Errorf("pool spec lists %d upstreams; max 254", len(parts))
+	}
+	targets := make(map[netip.Addr]string, len(parts))
+	ups := make([]upstreams.Upstream, 0, len(parts))
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		fields := strings.Split(part, "/")
+		if part == "" || len(fields) > 3 {
+			return nil, nil, fmt.Errorf("bad pool upstream %q: want host:port[/priority[/weight]]", part)
+		}
+		if _, _, err := net.SplitHostPort(fields[0]); err != nil {
+			return nil, nil, fmt.Errorf("bad pool upstream %q: %v", part, err)
+		}
+		u := upstreams.Upstream{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)})}
+		if len(fields) > 1 {
+			p, err := strconv.Atoi(fields[1])
+			if err != nil || p < 0 {
+				return nil, nil, fmt.Errorf("bad priority in pool upstream %q", part)
+			}
+			u.Priority = p
+		}
+		if len(fields) > 2 {
+			wt, err := strconv.Atoi(fields[2])
+			if err != nil || wt < 1 {
+				return nil, nil, fmt.Errorf("bad weight in pool upstream %q", part)
+			}
+			u.Weight = wt
+		}
+		targets[u.Addr] = fields[0]
+		ups = append(ups, u)
+	}
+	return ups, targets, nil
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5301", "UDP+TCP listen address")
 	zoneName := flag.String("zone", "scan.example.org", "zone served by the upstream authority")
 	upstream := flag.String("upstream", "127.0.0.1:5300", "authoritative server address")
+	upstreamsSpec := flag.String("upstreams", "", "resilient upstream pool, host:port[/priority[/weight]] comma-separated (empty = single -upstream)")
+	hedgeSpec := flag.String("hedge", "", "request hedging: off, on, or p=0.95,min=10ms,max=2s (requires -upstreams)")
+	breakerSpec := flag.String("breaker", "", "circuit breaker: off or fails=5,open=30s,probes=2 (requires -upstreams)")
+	ladderSpec := flag.String("edns-ladder", "", "EDNS payload ladder: off, or sizes like 4096,1232 with optional decay=5m (requires -upstreams)")
 	profileName := flag.String("profile", "compliant", "ECS behavior profile")
 	maxInflight := flag.Int("max-inflight", dnsserver.DefaultMaxInflight, "UDP queries handled concurrently (admission control)")
 	maxConns := flag.Int("max-conns", dnsserver.DefaultMaxConns, "simultaneous TCP connections (-1 = unlimited)")
@@ -120,9 +205,8 @@ func main() {
 		log.Fatalf("recursor: bad listen host: %v", err)
 	}
 
-	res := resolver.New(resolver.Config{
+	resCfg := resolver.Config{
 		Addr:              selfAddr,
-		Transport:         &socketTransport{client: &dnsclient.Client{}, upstream: *upstream},
 		Now:               time.Now, //ecslint:ignore wallclock live server: cache ages on the real clock
 		Directory:         dir,
 		Profile:           profile,
@@ -133,7 +217,50 @@ func main() {
 		MinTTL:            *minTTL,
 		MaxTTL:            *maxTTL,
 		DisableCoalescing: *noCoalesce,
-	})
+	}
+	var pool *upstreams.Pool
+	if *upstreamsSpec != "" {
+		ups, targets, err := parsePoolSpec(*upstreamsSpec)
+		if err != nil {
+			log.Fatalf("recursor: bad -upstreams: %v", err)
+		}
+		hedge, err := upstreams.ParseHedge(*hedgeSpec)
+		if err != nil {
+			log.Fatalf("recursor: bad -hedge: %v", err)
+		}
+		breaker, err := upstreams.ParseBreaker(*breakerSpec)
+		if err != nil {
+			log.Fatalf("recursor: bad -breaker: %v", err)
+		}
+		ladder, err := upstreams.ParseLadder(*ladderSpec)
+		if err != nil {
+			log.Fatalf("recursor: bad -edns-ladder: %v", err)
+		}
+		pool, err = upstreams.New(upstreams.Config{
+			Upstreams: ups,
+			Transport: &poolTransport{
+				udp:     &dnsclient.Client{Retries: dnsclient.NoRetries},
+				tcp:     &dnsclient.Client{ForceTCP: true},
+				targets: targets,
+			},
+			Now:        time.Now, //ecslint:ignore wallclock live pool: health, breakers, and the ladder age on the real clock
+			Hedge:      hedge,
+			Breaker:    breaker,
+			Ladder:     ladder,
+			Concurrent: true,
+			After:      time.After, //ecslint:ignore wallclock live hedge timer
+		})
+		if err != nil {
+			log.Fatalf("recursor: pool: %v", err)
+		}
+		resCfg.Pool = pool
+	} else {
+		if *hedgeSpec != "" || *breakerSpec != "" || *ladderSpec != "" {
+			log.Fatal("recursor: -hedge, -breaker, and -edns-ladder require -upstreams")
+		}
+		resCfg.Transport = &socketTransport{client: &dnsclient.Client{}, upstream: *upstream}
+	}
+	res := resolver.New(resCfg)
 
 	srv := dnsserver.New(res)
 	srv.MaxInflight = *maxInflight
@@ -144,7 +271,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("recursor: %v", err)
 	}
-	log.Printf("recursor: %s profile on %s, upstream %s", *profileName, bound, *upstream)
+	if pool != nil {
+		log.Printf("recursor: %s profile on %s, pool of %d upstreams [%s]", *profileName, bound, strings.Count(*upstreamsSpec, ",")+1, *upstreamsSpec)
+	} else {
+		log.Printf("recursor: %s profile on %s, upstream %s", *profileName, bound, *upstream)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -159,6 +290,14 @@ func main() {
 	log.Printf("recursor: served %d client queries, sent %d upstream", client, up)
 	log.Printf("recursor: %s", srv.Stats())
 	log.Printf("recursor: cache %s", res.Cache().Stats())
+	if pool != nil {
+		pool.Wait()
+		c := pool.Counters()
+		log.Printf("recursor: pool issued=%d won=%d lost=%d cancelled=%d failed=%d picks=%d granted=%d refused=%d balanced=%v",
+			c.Issued, c.Won, c.Lost, c.Cancelled, c.Failed, c.Picks, c.Granted, c.Refused, c.Balanced())
+		log.Printf("recursor: pool hedges=%d failovers=%d breaker-trips=%d ladder-steps=%d tcp-fallbacks=%d fast-fails=%d",
+			c.Hedges, c.Failovers, c.BreakerTrips, c.LadderSteps, c.TCPFallbacks, c.FastFails)
+	}
 }
 
 func parseOverflow(spec string) (dnsserver.OverflowPolicy, error) {

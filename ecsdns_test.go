@@ -4,7 +4,7 @@ import "testing"
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("experiments = %v", ids)
 	}
 }

@@ -41,7 +41,7 @@ func metric(t *testing.T, rep *Report, name string) Metric {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext_adaptive", "ext_ecsfraction", "ext_evictions", "ext_labstudy", "ext_scale",
+		"ext_adaptive", "ext_ecsfraction", "ext_evictions", "ext_labstudy", "ext_resilience", "ext_scale",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"section4", "section5", "section6_1", "section6_3", "table1", "table2",
 	}

@@ -115,6 +115,19 @@ func (c *Client) Exchange(server string, q *dnswire.Message) (*dnswire.Message, 
 	return c.exchangeTCP(server, q, data)
 }
 
+// ExchangeUDP sends q in a single UDP attempt with no retries and no
+// TCP fallback, returning truncated responses as-is. It exists for
+// callers that own transport-escalation policy themselves — the
+// upstreams pool's EDNS payload ladder steps payload sizes and falls
+// back to TCP on its own schedule.
+func (c *Client) ExchangeUDP(server string, q *dnswire.Message) (*dnswire.Message, error) {
+	data, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	return c.exchangeUDP(server, q, data)
+}
+
 func (c *Client) exchangeUDP(server string, q *dnswire.Message, data []byte) (*dnswire.Message, error) {
 	conn, err := net.DialTimeout("udp", server, c.timeout())
 	if err != nil {

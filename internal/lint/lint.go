@@ -148,6 +148,7 @@ func DefaultConfig() *Config {
 			"ecsdns/internal/dnsclient",
 			"ecsdns/internal/scanner",
 			"ecsdns/internal/netem",
+			"ecsdns/internal/upstreams",
 		},
 		CodecPackages: []string{
 			"ecsdns/internal/dnswire",

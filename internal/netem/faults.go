@@ -53,13 +53,35 @@ type FaultPlan struct {
 	// LossTimeout is the time a lost exchange costs the sender
 	// (default 1s).
 	LossTimeout time.Duration
+	// Payload inflates every response from the node to this many wire
+	// bytes, driving the UDP size failure modes the DoTCP-fallback
+	// studies measure: a UDP response exceeding the querier's advertised
+	// EDNS payload (512 without EDNS) comes back as a bare TC=1
+	// truncation, and one exceeding FragThreshold is subject to
+	// FragLoss. Zero disables size faults. TCP exchanges
+	// (Network.ExchangeTCP) are immune.
+	Payload int
+	// FragLoss is the probability a UDP response larger than
+	// FragThreshold is dropped silently — the IP-fragment loss the
+	// sender can only observe as a timeout.
+	FragLoss float64
+	// FragThreshold is the size beyond which a UDP response fragments
+	// (default 1400, roughly Ethernet MTU minus headers).
+	FragThreshold int
 }
 
 // IsZero reports whether the plan injects nothing.
 func (p FaultPlan) IsZero() bool {
 	return p.Loss == 0 && p.Latency == 0 && p.Jitter == 0 &&
 		p.Truncate == 0 && p.ServFail == 0 && p.Corrupt == 0 &&
-		len(p.Blackouts) == 0
+		len(p.Blackouts) == 0 && p.Payload == 0
+}
+
+func (p FaultPlan) fragThreshold() int {
+	if p.FragThreshold > 0 {
+		return p.FragThreshold
+	}
+	return 1400
 }
 
 func (p FaultPlan) lossTimeout() time.Duration {
@@ -80,6 +102,12 @@ type FaultStats struct {
 	Truncated int64
 	ServFails int64
 	Corrupted int64
+	// SizeTruncated counts UDP responses truncated because the inflated
+	// payload exceeded the querier's advertised EDNS buffer, and
+	// FragDrops the subset of Lost due to fragment loss (a UDP response
+	// over the fragmentation threshold silently dropped).
+	SizeTruncated int64
+	FragDrops     int64
 	// Delayed counts exchanges that received extra latency, and
 	// ExtraLatency is the total delay added.
 	Delayed      int64
@@ -192,11 +220,44 @@ func (n *Network) forwardFaults(dest netip.Addr) (lost bool, cost, extra time.Du
 	return false, 0, extra
 }
 
+// truncateResponse builds the truncated form of resp: a bare TC=1
+// header with every record section stripped, the AA and AD bits
+// cleared, and the OPT record gone — what a real resolver sees when a
+// size-limited server gives up on the UDP answer. The original message
+// is never mutated.
+func truncateResponse(resp *dnswire.Message) *dnswire.Message {
+	out := *resp
+	out.Truncated = true
+	out.Authoritative = false
+	out.AuthenticData = false
+	out.EDNS = nil
+	out.Answers, out.Authorities, out.Additionals = nil, nil, nil
+	return &out
+}
+
+// advertisedPayload is the UDP response budget the query granted: the
+// EDNS payload size when present (floored at the RFC 6891 minimum of
+// 512), or the classic 512-byte limit without EDNS.
+func advertisedPayload(q *dnswire.Message) int {
+	if q == nil || q.EDNS == nil {
+		return 512
+	}
+	if q.EDNS.UDPSize < 512 {
+		return 512
+	}
+	return int(q.EDNS.UDPSize)
+}
+
 // responseFaults rolls the post-delivery faults for a response from
-// dest, returning the (possibly replaced) response. The original
-// message is never mutated. At most one response fault fires per
-// exchange, in truncate → servfail → corrupt order.
-func (n *Network) responseFaults(dest netip.Addr, resp *dnswire.Message) *dnswire.Message {
+// dest, returning the (possibly replaced) response and whether the
+// response was lost to fragmentation (fragDropped). The original
+// message is never mutated. Size faults (payload inflation against the
+// query's advertised EDNS buffer, then fragment loss) are evaluated
+// first, then at most one injected response fault fires per exchange,
+// in truncate → servfail → corrupt order. TCP exchanges see only the
+// servfail fault: the stream transport is immune to size limits,
+// fragmentation, truncation, and off-path ID corruption.
+func (n *Network) responseFaults(dest netip.Addr, q, resp *dnswire.Message, tcp bool) (*dnswire.Message, bool) {
 	n.fmu.Lock()
 	defer n.fmu.Unlock()
 	for _, st := range [2]*faultState{n.globalFaults, n.nodeFaults[dest]} {
@@ -204,38 +265,63 @@ func (n *Network) responseFaults(dest netip.Addr, resp *dnswire.Message) *dnswir
 			continue
 		}
 		p := st.plan
-		if p.Truncate > 0 && st.rng.Float64() < p.Truncate {
+		if p.Payload > 0 && !tcp {
+			if p.Payload > advertisedPayload(q) {
+				n.fstats.SizeTruncated++
+				return truncateResponse(resp), false
+			}
+			if p.FragLoss > 0 && p.Payload > p.fragThreshold() &&
+				st.rng.Float64() < p.FragLoss {
+				n.fstats.FragDrops++
+				n.fstats.Lost++
+				return nil, true
+			}
+		}
+		if p.Truncate > 0 && !tcp && st.rng.Float64() < p.Truncate {
 			n.fstats.Truncated++
-			out := *resp
-			out.Truncated = true
-			out.Answers, out.Authorities, out.Additionals = nil, nil, nil
-			return &out
+			return truncateResponse(resp), false
 		}
 		if p.ServFail > 0 && st.rng.Float64() < p.ServFail {
 			n.fstats.ServFails++
 			out := *resp
 			out.RCode = dnswire.RCodeServFail
 			out.Answers, out.Authorities = nil, nil
-			return &out
+			return &out, false
 		}
-		if p.Corrupt > 0 && st.rng.Float64() < p.Corrupt {
+		if p.Corrupt > 0 && !tcp && st.rng.Float64() < p.Corrupt {
 			n.fstats.Corrupted++
 			out := *resp
 			out.ID = ^resp.ID
-			return &out
+			return &out, false
 		}
 	}
-	return resp
+	return resp, false
+}
+
+// lossTimeoutFor returns the loss-timeout budget governing dest: the
+// node plan's when set, else the global plan's, else the default.
+func (n *Network) lossTimeoutFor(dest netip.Addr) time.Duration {
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	if st := n.nodeFaults[dest]; st != nil && st.plan.LossTimeout > 0 {
+		return st.plan.LossTimeout
+	}
+	if st := n.globalFaults; st != nil {
+		return st.plan.lossTimeout()
+	}
+	return time.Second
 }
 
 // ParseFaultPlan parses the comma-separated fault spec the command-line
 // tools accept, e.g.
 //
 //	loss=0.1,latency=30ms,jitter=10ms,truncate=0.2,servfail=0.1,corrupt=0.05,blackout=2m+30s
+//	payload=3000,fragloss=0.9,fragthreshold=1400
 //
 // Probabilities are in [0,1]; latency/jitter are Go durations; each
 // blackout is start+duration, offsets from the simulation start
-// (SimStart). An empty spec yields a zero plan.
+// (SimStart); payload and fragthreshold are wire sizes in bytes. An
+// empty spec yields a zero plan.
 func ParseFaultPlan(spec string) (FaultPlan, error) {
 	var p FaultPlan
 	if strings.TrimSpace(spec) == "" {
@@ -251,7 +337,7 @@ func ParseFaultPlan(spec string) (FaultPlan, error) {
 			return FaultPlan{}, fmt.Errorf("netem: fault %q: want key=value", item)
 		}
 		switch k {
-		case "loss", "truncate", "servfail", "corrupt":
+		case "loss", "truncate", "servfail", "corrupt", "fragloss":
 			f, err := strconv.ParseFloat(v, 64)
 			if err != nil || f < 0 || f > 1 {
 				return FaultPlan{}, fmt.Errorf("netem: fault %s=%q: want a probability in [0,1]", k, v)
@@ -265,6 +351,18 @@ func ParseFaultPlan(spec string) (FaultPlan, error) {
 				p.ServFail = f
 			case "corrupt":
 				p.Corrupt = f
+			case "fragloss":
+				p.FragLoss = f
+			}
+		case "payload", "fragthreshold":
+			i, err := strconv.Atoi(v)
+			if err != nil || i <= 0 || i > 65535 {
+				return FaultPlan{}, fmt.Errorf("netem: fault %s=%q: want a wire size in [1,65535]", k, v)
+			}
+			if k == "payload" {
+				p.Payload = i
+			} else {
+				p.FragThreshold = i
 			}
 		case "latency", "jitter":
 			d, err := time.ParseDuration(v)
@@ -291,7 +389,7 @@ func ParseFaultPlan(spec string) (FaultPlan, error) {
 				End:   SimStart.Add(start + dur),
 			})
 		default:
-			return FaultPlan{}, fmt.Errorf("netem: unknown fault knob %q (have loss latency jitter truncate servfail corrupt blackout)", k)
+			return FaultPlan{}, fmt.Errorf("netem: unknown fault knob %q (have loss latency jitter truncate servfail corrupt blackout payload fragloss fragthreshold)", k)
 		}
 	}
 	return p, nil

@@ -182,14 +182,29 @@ func (n *Network) RTT(a, b netip.Addr) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
 }
 
-// Exchange sends query from `from` to `to`, advances the virtual clock by
-// the path RTT, and returns the response along with that RTT. A nil
-// response from the handler maps to ErrDropped, modeling the silent drops
-// the paper describes for buggy nameservers; injected loss (and blackout
-// windows) map to ErrLost after a full timeout-equivalent delay, and the
-// response may carry an injected truncation, SERVFAIL, or corruption per
-// the installed FaultPlans (see faults.go).
+// Exchange sends query from `from` to `to` over the (emulated) UDP
+// path, advances the virtual clock by the path RTT, and returns the
+// response along with that RTT. A nil response from the handler maps to
+// ErrDropped, modeling the silent drops the paper describes for buggy
+// nameservers; injected loss (and blackout windows) map to ErrLost
+// after a full timeout-equivalent delay, and the response may carry an
+// injected truncation, SERVFAIL, corruption, or size fault (payload
+// inflation against the query's advertised EDNS buffer, fragment loss)
+// per the installed FaultPlans (see faults.go).
 func (n *Network) Exchange(from, to netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	return n.exchange(from, to, query, false)
+}
+
+// ExchangeTCP is Exchange over the (emulated) stream transport: size
+// faults, injected truncation, and ID corruption do not apply — TCP
+// carries any response intact — while loss, blackouts, latency, and
+// SERVFAIL injection still do. It is the final rung of the
+// truncation→fragmentation→TCP fallback ladder.
+func (n *Network) ExchangeTCP(from, to netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	return n.exchange(from, to, query, true)
+}
+
+func (n *Network) exchange(from, to netip.Addr, query *dnswire.Message, tcp bool) (*dnswire.Message, time.Duration, error) {
 	n.mu.RLock()
 	h, ok := n.nodes[to]
 	n.mu.RUnlock()
@@ -223,7 +238,19 @@ func (n *Network) Exchange(from, to netip.Addr, query *dnswire.Message) (*dnswir
 		return nil, rtt, ErrDropped
 	}
 	if faulted {
-		resp = n.responseFaults(to, resp)
+		var fragDropped bool
+		resp, fragDropped = n.responseFaults(to, query, resp, tcp)
+		if fragDropped {
+			// The oversized response fragmented and a fragment was lost:
+			// the sender sees nothing and burns the full loss timeout.
+			cost := n.lossTimeoutFor(to)
+			if cost > rtt {
+				n.clock.Advance(cost - rtt)
+			} else {
+				cost = rtt
+			}
+			return nil, cost, ErrLost
+		}
 	}
 	if tap := n.WireTap; tap != nil {
 		tap(Event{From: from, To: to, Query: query, Response: resp, RTT: rtt, Time: n.clock.Now()})

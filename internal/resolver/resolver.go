@@ -23,6 +23,14 @@ type Transport interface {
 	Exchange(from, to netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error)
 }
 
+// PoolTransport is the multi-upstream transport satisfied by
+// upstreams.Pool: the pool picks the destination (and handles
+// failover, hedging, and payload fallback) itself, so no destination
+// address is passed.
+type PoolTransport interface {
+	Exchange(from netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error)
+}
+
 // Directory maps zone suffixes to authoritative server addresses. It
 // stands in for full iterative resolution: the experiments care about the
 // resolver↔authority ECS interaction, not NS discovery.
@@ -69,6 +77,12 @@ type Config struct {
 	Addr netip.Addr
 	// Transport carries upstream queries.
 	Transport Transport
+	// Pool, when set, routes upstream queries through a resilient
+	// multi-upstream pool instead of Transport. The pool owns failover,
+	// hedging, and truncation fallback, so the resolver's own retry
+	// loop defaults to zero retries (set Retries explicitly to add
+	// retries on top).
+	Pool PoolTransport
 	// Now supplies (virtual) time.
 	Now func() time.Time
 	// Directory locates authoritative servers.
@@ -453,7 +467,13 @@ func (r *Resolver) exchangeUpstream(authAddr netip.Addr, up *dnswire.Message) (*
 		r.mu.Lock()
 		r.upstreamQueries++
 		r.mu.Unlock()
-		upResp, _, err := r.cfg.Transport.Exchange(r.cfg.Addr, authAddr, up)
+		var upResp *dnswire.Message
+		var err error
+		if r.cfg.Pool != nil {
+			upResp, _, err = r.cfg.Pool.Exchange(r.cfg.Addr, up)
+		} else {
+			upResp, _, err = r.cfg.Transport.Exchange(r.cfg.Addr, authAddr, up)
+		}
 		switch {
 		case err != nil:
 			lastErr = err
@@ -757,9 +777,15 @@ func danglingCNAME(answers []dnswire.RR, want dnswire.Type) (dnswire.Name, bool)
 	return "", false
 }
 
-// retries returns the upstream retry budget.
+// retries returns the upstream retry budget. With a pool attached the
+// default drops to zero: failover, hedging, and truncation fallback
+// already happen inside the pool, and stacking the resolver's own
+// retry loop on top would multiply every fault's cost.
 func (r *Resolver) retries() int {
 	if r.cfg.Retries == 0 {
+		if r.cfg.Pool != nil {
+			return 0
+		}
 		return 2
 	}
 	if r.cfg.Retries < 0 {

@@ -1,0 +1,88 @@
+package upstreams
+
+import (
+	"sort"
+	"time"
+)
+
+// healthAlpha is the EWMA smoothing factor for both the RTT and the
+// failure-rate estimates: recent attempts dominate, but a single
+// outlier cannot flip an upstream's ranking.
+const healthAlpha = 0.2
+
+// health is one upstream's quality estimate: an EWMA of successful
+// attempt cost and an EWMA of the failure indicator. Both feed the
+// selection score; neither gates an upstream outright — that is the
+// circuit breaker's job.
+type health struct {
+	ewmaRTT  time.Duration // 0 until the first success
+	failRate float64       // in [0,1]
+}
+
+// observe folds one attempt outcome into the estimate. cost is the
+// attempt's total chain cost (meaningful on success; ignored on
+// failure, where it mostly measures the loss timeout).
+func (h *health) observe(ok bool, cost time.Duration) {
+	if ok {
+		if h.ewmaRTT == 0 {
+			h.ewmaRTT = cost
+		} else {
+			h.ewmaRTT = time.Duration((1-healthAlpha)*float64(h.ewmaRTT) + healthAlpha*float64(cost))
+		}
+		h.failRate *= 1 - healthAlpha
+		return
+	}
+	h.failRate = h.failRate*(1-healthAlpha) + healthAlpha
+}
+
+// score is the expected-cost ranking key: lower is better. The RTT
+// estimate is inflated by the failure rate so a fast-but-flaky upstream
+// ranks below a slightly slower reliable one. Unprobed upstreams get an
+// optimistic 1ms prior, so fresh pool members are tried early.
+func (h *health) score() float64 {
+	rtt := float64(h.ewmaRTT)
+	if rtt <= 0 {
+		rtt = float64(time.Millisecond)
+	}
+	return rtt * (1 + 9*h.failRate)
+}
+
+// samplerSize bounds the RTT sample window the hedge delay is computed
+// over. 64 recent winners is enough for a stable upper percentile while
+// staying O(1) memory and cheap to sort on demand.
+const samplerSize = 64
+
+// rttSampler is a ring of recent successful attempt costs, feeding the
+// adaptive hedge delay percentile.
+type rttSampler struct {
+	buf [samplerSize]time.Duration
+	n   int
+}
+
+func (s *rttSampler) record(d time.Duration) {
+	s.buf[s.n%samplerSize] = d
+	s.n++
+}
+
+// percentile returns the p-quantile (p in [0,1]) of the retained
+// window, or ok=false when no sample has been recorded yet.
+func (s *rttSampler) percentile(p float64) (time.Duration, bool) {
+	c := s.n
+	if c > samplerSize {
+		c = samplerSize
+	}
+	if c == 0 {
+		return 0, false
+	}
+	tmp := make([]time.Duration, c)
+	copy(tmp, s.buf[:c])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := int(p * float64(c))
+	if idx >= c {
+		idx = c - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return tmp[idx], true
+}

@@ -45,6 +45,15 @@ go test -race ./...
 stage "overload chaostest (flood + RRL storm, -race, replay x2)"
 go test -race -short -count=2 -run 'TestOverload|TestRRLStorm' ./internal/netem/chaostest
 
+# The upstream pool under partial failure, replayed: a blackout that
+# must failover with ≥99% answered, and a flapping mirror that must
+# drive a full breaker lifecycle (Closed→Open→HalfOpen→Closed) with a
+# replay-identical transition trace. -count=2 reruns each scenario in
+# the same process, so the determinism assertions cover fresh and
+# warmed runtime state.
+stage "failover chaostest (blackout + flapping breaker, -race, replay x2)"
+go test -race -count=2 -run 'TestChaosBlackoutFailover|TestChaosFlappingUpstream' ./internal/netem/chaostest
+
 # Cache benchmark smoke: a short fixed-iteration run of the sharding
 # benchmarks, piped through benchjson so the BENCH_cache.json schema
 # and required benchmark set are validated on every verify. Full-length
@@ -67,6 +76,18 @@ go test -run NONE -bench BenchmarkScanThroughput \
 	| go run ./cmd/benchjson \
 		-require BenchmarkScanThroughput \
 		-out /tmp/BENCH_scan.smoke.json
+
+# Resilience benchmark smoke: breaker fast-fail and hedged-vs-unhedged
+# pool runs, validated against the BENCH_resilience.json schema. The
+# virtual-latency percentiles (p50/p99-virtual-ms) ride along as
+# custom metrics. Full-length runs (see EXPERIMENTS.md) regenerate the
+# committed artifact.
+stage "bench smoke (upstream resilience -> results/BENCH_resilience.json schema)"
+go test -run NONE -bench 'BenchmarkBreakerFastFail|BenchmarkPoolHedging' \
+	-benchtime 200x -benchmem ./internal/upstreams \
+	| go run ./cmd/benchjson \
+		-require BenchmarkBreakerFastFail,BenchmarkPoolHedging \
+		-out /tmp/BENCH_resilience.smoke.json
 
 stage "fuzz smoke tests (${FUZZTIME} each)"
 go test -fuzz 'FuzzUnpack$'      -fuzztime "$FUZZTIME" -run NONE ./internal/dnswire
