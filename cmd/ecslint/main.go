@@ -13,13 +13,12 @@
 //	conn.SetDeadline(time.Now().Add(d)) //ecslint:ignore wallclock real socket deadline
 //
 // With -json, output is a single stable object listing both active and
-// suppressed findings; suppressed entries carry the ignore directive's
-// justification in "ignoredBy". Only active findings affect the exit
-// status.
+// suppressed findings; suppressed entries carry "suppressed": true and
+// the ignore directive's justification in "ignoredBy" (the schema lives
+// in lint.JSONFinding). Only active findings affect the exit status.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,22 +26,6 @@ import (
 
 	"ecsdns/internal/lint"
 )
-
-// jsonFinding is the stable -json schema for one diagnostic. Field
-// names are part of the CLI contract (CI problem matchers and editor
-// integrations parse them); add fields, never rename.
-type jsonFinding struct {
-	File      string `json:"file"`
-	Line      int    `json:"line"`
-	Col       int    `json:"col"`
-	Check     string `json:"check"`
-	Message   string `json:"message"`
-	IgnoredBy string `json:"ignoredBy,omitempty"`
-}
-
-type jsonOutput struct {
-	Findings []jsonFinding `json:"findings"`
-}
 
 func main() {
 	os.Exit(run())
@@ -129,24 +112,13 @@ func run() int {
 		return 0
 	}
 	if *jsonOut {
-		out := jsonOutput{Findings: []jsonFinding{}}
-		for _, f := range findings {
-			out.Findings = append(out.Findings, jsonFinding{
-				File: f.File, Line: f.Line, Col: f.Col, Check: f.Check, Message: f.Msg,
-			})
-		}
-		for _, f := range suppressed {
-			out.Findings = append(out.Findings, jsonFinding{
-				File: f.File, Line: f.Line, Col: f.Col, Check: f.Check, Message: f.Msg,
-				IgnoredBy: f.IgnoredBy,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		out, err := lint.JSON(findings, suppressed)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ecslint: %v\n", err)
 			return 2
 		}
+		os.Stdout.Write(out)
+		fmt.Println()
 	} else {
 		for _, f := range findings {
 			fmt.Println(f)

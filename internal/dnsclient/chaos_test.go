@@ -90,7 +90,6 @@ func (cr *chaosResponder) loop(done chan struct{}) {
 			// pipeline must count it Mismatched either way, never deliver it.
 			dnswire.PatchID(out, ^resp.ID)
 		}
-		//ecslint:ignore ctxflow test responder: a UDP send to loopback does not block on the peer
 		cr.pc.WriteToUDPAddrPort(out, src)
 	}
 }

@@ -169,7 +169,8 @@ type shard struct {
 
 	tpl templateCache
 
-	sendq chan sendReq  // non-nil when batch I/O is active
+	sendq chan sendReq // non-nil when batch I/O is active
+	//ecschan:owner Close
 	stopc chan struct{} // closed on pipeline Close
 }
 
@@ -677,7 +678,6 @@ func (s *shard) attempt(ctx context.Context, dest netip.AddrPort, question dnswi
 		}
 	} else {
 		s.p.sent.Add(1)
-		//ecslint:ignore ctxflow a UDP datagram send does not block on the peer; the cancellable wait happens in the select below
 		if _, err := s.pc.WriteToUDPAddrPort(data, dest); err != nil {
 			if s.unregister(key) {
 				waiterPool.Put(w)
@@ -764,7 +764,6 @@ func (s *shard) abort(key pendingKey, w *waiter, err error) error {
 //
 //ecspool:consumer
 func (s *shard) consume(w *waiter) {
-	//ecslint:ignore ctxflow the reader has already committed this delivery with no intervening I/O; the receive completes promptly and must happen before the waiter can be pooled
 	<-w.ch
 	waiterPool.Put(w)
 }

@@ -122,7 +122,6 @@ func (fr *fragResponder) udpLoop() {
 		if err != nil {
 			continue
 		}
-		//ecslint:ignore ctxflow test responder: a UDP send to loopback does not block on the peer
 		fr.udp.WriteToUDPAddrPort(out, src)
 	}
 }
@@ -145,7 +144,7 @@ func (fr *fragResponder) tcpLoop() {
 func (fr *fragResponder) serveTCP(conn *net.TCPConn) {
 	defer fr.wg.Done()
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(5 * time.Second)) //ecslint:ignore wallclock test responder deadline on a real socket
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
 	var hdr [2]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {

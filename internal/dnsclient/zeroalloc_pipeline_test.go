@@ -37,7 +37,6 @@ func startEchoResponder(t *testing.T) netip.AddrPort {
 				continue
 			}
 			b[2] |= 0x80 // set QR: the echoed query becomes its own response
-			//ecslint:ignore ctxflow test responder: a UDP send to loopback does not block on the peer
 			pc.WriteToUDPAddrPort(b[:n], src)
 		}
 	}()
@@ -139,7 +138,6 @@ func BenchmarkPipelineExchange(b *testing.B) {
 				continue
 			}
 			buf[2] |= 0x80
-			//ecslint:ignore ctxflow bench responder: a UDP send to loopback does not block on the peer
 			pc.WriteToUDPAddrPort(buf[:n], src)
 		}
 	}()

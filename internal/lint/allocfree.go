@@ -84,8 +84,9 @@ type afIndex struct {
 	gctx      *GlobalContext
 	byObj     map[*types.Func]*afEntry
 	byName    map[string]*afEntry
-	entries   []*afEntry              // deterministic order
-	sinks     map[string][]ignoreSpan // module-relative file -> sink spans
+	entries   []*afEntry               // deterministic order
+	sinks     map[string][]*ignoreSpan // module-relative file -> sink spans
+	sinkFiles []string                 // deterministic sink order
 	summaries map[*afEntry]*afSummary
 	reported  map[token.Pos]bool
 }
@@ -95,7 +96,7 @@ func runAllocfree(gctx *GlobalContext) {
 		gctx:      gctx,
 		byObj:     make(map[*types.Func]*afEntry),
 		byName:    make(map[string]*afEntry),
-		sinks:     make(map[string][]ignoreSpan),
+		sinks:     make(map[string][]*ignoreSpan),
 		summaries: make(map[*afEntry]*afSummary),
 		reported:  make(map[token.Pos]bool),
 	}
@@ -117,6 +118,20 @@ func runAllocfree(gctx *GlobalContext) {
 	for _, e := range x.entries {
 		if e.zero {
 			x.verify(e)
+		}
+	}
+
+	// A sink no allocation site ever matched is stale: either the code
+	// below it stopped allocating, or it drifted off every zero-alloc
+	// path. Reported under unusedignore so the suppression audit owns it.
+	if gctx.Cfg.CheckEnabled("unusedignore") {
+		for _, file := range x.sinkFiles {
+			for _, s := range x.sinks[file] {
+				if !s.used {
+					gctx.reportAs("unusedignore", file, s.dLine, s.dCol,
+						"ecsalloc:sink absorbs no allocation site on any //ecsalloc:zero path — remove the stale directive")
+				}
+			}
 		}
 	}
 }
@@ -187,10 +202,15 @@ func (x *afIndex) parseSinks(pkg *Package, f *ast.File, src []byte, zeroDocs map
 					}
 				}
 				file := relToModule(pkg.ModuleDir, pos.Filename)
-				x.sinks[file] = append(x.sinks[file], ignoreSpan{
+				if _, seen := x.sinks[file]; !seen {
+					x.sinkFiles = append(x.sinkFiles, file)
+				}
+				x.sinks[file] = append(x.sinks[file], &ignoreSpan{
 					startLine: line,
 					endLine:   directiveEndLine(pkg, f, line),
 					why:       strings.TrimSpace(why),
+					dLine:     pos.Line,
+					dCol:      pos.Column,
 				})
 			default:
 				x.gctx.Reportf(pkg, c.Pos(), "unknown ecsalloc verb %q; expected //ecsalloc:zero or //ecsalloc:sink <why>", verb)
@@ -199,12 +219,14 @@ func (x *afIndex) parseSinks(pkg *Package, f *ast.File, src []byte, zeroDocs map
 	}
 }
 
-// sunk reports whether pos is covered by an //ecsalloc:sink span.
+// sunk reports whether pos is covered by an //ecsalloc:sink span,
+// marking the span used (a sink that never absorbs a site is stale).
 func (x *afIndex) sunk(pkg *Package, pos token.Pos) bool {
 	p := pkg.Fset.Position(pos)
 	file := relToModule(pkg.ModuleDir, p.Filename)
 	for _, s := range x.sinks[file] {
 		if p.Line >= s.startLine && p.Line <= s.endLine {
+			s.used = true
 			return true
 		}
 	}

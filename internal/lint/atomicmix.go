@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicmixCheck defends the memory model around sync/atomic in the
+// concurrency-heavy packages:
+//
+//   - mixed access: a struct field touched through sync/atomic anywhere
+//     must be touched through sync/atomic everywhere. A plain read or
+//     write of the same field — even mutex-guarded — does not
+//     synchronize with the atomic side, which is exactly how an
+//     EWMA/health score published by one goroutine tears under another.
+//
+//   - 64-bit alignment: fields used with the 64-bit atomic functions
+//     must sit at an 8-byte-aligned offset; on 32-bit platforms (the CI
+//     GOARCH=386 vet job) a misaligned atomic faults at runtime. The
+//     fix is the usual one: move 64-bit fields to the front of the
+//     struct.
+//
+//   - copied receivers: passing a struct that carries an atomic.* typed
+//     field (or an atomic value itself) by value copies the atomic out
+//     from under its writers. `go vet -copylocks` does not catch this —
+//     the sync/atomic types carry no noCopy sentinel.
+//
+// Test files are exempt, matching the other concurrency-protocol
+// checks.
+var atomicmixCheck = Check{
+	Name: "atomicmix",
+	Doc:  "mixed atomic/plain access to one field, misaligned 64-bit atomics, atomics copied by value",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(ctx *Context) {
+	if !pathListed(ctx.Cfg.GoroutinePackages, basePath(ctx.Pkg.ImportPath)) {
+		return
+	}
+	idx := ctx.collectAtomicUses()
+	for _, f := range ctx.Pkg.Files {
+		if ctx.isTestFile(f) {
+			continue
+		}
+		ctx.checkPlainAccess(f, idx)
+		ctx.checkValueCopies(f)
+	}
+	ctx.checkAtomicAlignment(idx)
+}
+
+// atomicIndex records which struct fields the package accesses through
+// sync/atomic functions, the selector nodes consumed by those calls,
+// and where 64-bit atomics touch each field.
+type atomicIndex struct {
+	fields   map[*types.Var]token.Pos // field -> first atomic use
+	consumed map[*ast.SelectorExpr]bool
+	wide     map[*types.Var]token.Pos // fields used with ...64 functions
+}
+
+// collectAtomicUses walks the non-test files for sync/atomic
+// package-function calls taking &struct.field.
+func (c *Context) collectAtomicUses() *atomicIndex {
+	idx := &atomicIndex{
+		fields:   make(map[*types.Var]token.Pos),
+		consumed: make(map[*ast.SelectorExpr]bool),
+		wide:     make(map[*types.Var]token.Pos),
+	}
+	for _, f := range c.Pkg.Files {
+		if c.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := atomicFunc(c.Pkg, call)
+			if fn == nil {
+				return true
+			}
+			u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldVarOf(c.Pkg, sel)
+			if v == nil {
+				return true
+			}
+			idx.consumed[sel] = true
+			if _, seen := idx.fields[v]; !seen || call.Pos() < idx.fields[v] {
+				idx.fields[v] = call.Pos()
+			}
+			if strings.Contains(fn.Name(), "64") {
+				if _, seen := idx.wide[v]; !seen || call.Pos() < idx.wide[v] {
+					idx.wide[v] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// atomicFunc resolves call to a sync/atomic package-level function.
+func atomicFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// fieldVarOf resolves a selector to the struct field it names.
+func fieldVarOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	var obj types.Object
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		obj = s.Obj()
+	} else {
+		obj = pkg.Info.Uses[sel.Sel]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// checkPlainAccess flags non-atomic selector accesses to fields the
+// package elsewhere accesses atomically.
+func (c *Context) checkPlainAccess(f *ast.File, idx *atomicIndex) {
+	if len(idx.fields) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || idx.consumed[sel] {
+			return true
+		}
+		v := fieldVarOf(c.Pkg, sel)
+		if v == nil {
+			return true
+		}
+		if first, atomicUse := idx.fields[v]; atomicUse {
+			c.Reportf(sel.Pos(), "plain access to %s, which is accessed atomically at %s: mutexes do not synchronize with sync/atomic — make every access atomic",
+				v.Name(), c.Pkg.Fset.Position(first))
+		}
+		return true
+	})
+}
+
+// checkAtomicAlignment verifies 8-byte alignment of 64-bit atomic
+// fields under 32-bit layout (gc/386: int64 aligns to 4, so offsets are
+// declaration-driven and misalignment is a real layout, not a
+// hypothetical).
+func (c *Context) checkAtomicAlignment(idx *atomicIndex) {
+	sizes := types.SizesFor("gc", "386")
+	for v, pos := range idx.wide {
+		st, fields, i := owningStruct(v)
+		if st == nil {
+			continue
+		}
+		offsets := sizes.Offsetsof(fields)
+		if offsets[i]%8 != 0 {
+			c.Reportf(pos, "64-bit atomic on field %s, which sits at offset %d on 32-bit platforms: misaligned atomic faults at runtime — move 64-bit fields to the front of the struct",
+				v.Name(), offsets[i])
+		}
+	}
+}
+
+// owningStruct finds the struct type declaring field v, returning the
+// struct, its field list, and v's index.
+func owningStruct(v *types.Var) (*types.Struct, []*types.Var, int) {
+	if v.Pkg() == nil {
+		return nil, nil, 0
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fields := make([]*types.Var, st.NumFields())
+		hit := -1
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+			if st.Field(i) == v {
+				hit = i
+			}
+		}
+		if hit >= 0 {
+			return st, fields, hit
+		}
+	}
+	return nil, nil, 0
+}
+
+// checkValueCopies flags by-value parameters and receivers whose type
+// carries sync/atomic state.
+func (c *Context) checkValueCopies(f *ast.File) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := c.Pkg.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if carrier := atomicCarrier(tv.Type); carrier != "" {
+				c.Reportf(field.Type.Pos(), "%s passes %s by value, copying its %s out from under concurrent writers; pass a pointer (vet's copylocks misses this: atomics carry no noCopy)",
+					what, tv.Type.String(), carrier)
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			check(d.Recv, "method receiver")
+			check(d.Type.Params, "parameter")
+			check(d.Type.Results, "result")
+		case *ast.FuncLit:
+			check(d.Type.Params, "parameter")
+			check(d.Type.Results, "result")
+		}
+		return true
+	})
+}
+
+// atomicCarrier reports how t carries atomic state by value: it is a
+// sync/atomic type itself, or a struct with a field of one (one level
+// deep — nested carriers are flagged at their own type's uses).
+func atomicCarrier(t types.Type) string {
+	if isAtomicNamed(t) {
+		return t.String()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isAtomicNamed(st.Field(i).Type()) {
+			return "atomic field " + st.Field(i).Name()
+		}
+	}
+	return ""
+}
+
+func isAtomicNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"sort"
 	"strings"
 )
 
@@ -92,6 +93,11 @@ func directiveEndLine(pkg *Package, f *ast.File, line int) int {
 			return false
 		}
 		switch n.(type) {
+		case *ast.BlockStmt:
+			// A bare block is its parent's body: letting it win here
+			// would make a header-line directive blanket the whole body,
+			// exactly what the block-capping below exists to prevent.
+			return true
 		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field, *ast.KeyValueExpr:
 		default:
 			return true
@@ -134,23 +140,31 @@ func directiveEndLine(pkg *Package, f *ast.File, line int) int {
 	return end
 }
 
-// ignoreSpan is one resolved suppression region.
+// ignoreSpan is one resolved suppression region. dLine/dCol locate the
+// directive comment itself (where staleness is reported); used records
+// whether the span suppressed anything this run.
 type ignoreSpan struct {
 	startLine, endLine int
 	checks             map[string]bool
 	why                string
+	dLine, dCol        int
+	used               bool
 }
 
 // applyIgnores splits findings into the active set and the suppressed
 // set (matched by a directive covering their line, IgnoredBy filled with
 // the directive's justification). Malformed directives — no
 // justification, or naming an unknown check — are themselves reported.
-func applyIgnores(pkgs []*Package, findings []Finding) (active, suppressed []Finding) {
-	ignores := make(map[string][]ignoreSpan) // module-relative file -> spans
+// When the unusedignore check is enabled, directives that suppressed
+// nothing — and whose named checks all ran, so silence means the code
+// is clean, not the check switched off — are reported as stale.
+func applyIgnores(pkgs []*Package, findings []Finding, cfg *Config) (active, suppressed []Finding) {
+	ignores := make(map[string][]*ignoreSpan) // module-relative file -> spans
 	known := make(map[string]bool)
 	for _, c := range AllChecks() {
 		known[c.Name] = true
 	}
+	var files []string // deterministic span order for staleness reports
 	for _, pkg := range pkgs {
 		for i, f := range pkg.Files {
 			for _, d := range parseIgnores(pkg, f, pkg.Sources[i]) {
@@ -163,11 +177,13 @@ func applyIgnores(pkgs []*Package, findings []Finding) (active, suppressed []Fin
 						Msg:   "ecslint:ignore needs a justification: //ecslint:ignore <check> <why>",
 					})
 				}
-				span := ignoreSpan{
+				span := &ignoreSpan{
 					startLine: d.line,
 					endLine:   directiveEndLine(pkg, f, d.line),
 					checks:    make(map[string]bool),
 					why:       d.why,
+					dLine:     pos.Line,
+					dCol:      pos.Column,
 				}
 				for name := range d.checks {
 					if !known[name] {
@@ -181,6 +197,9 @@ func applyIgnores(pkgs []*Package, findings []Finding) (active, suppressed []Fin
 					span.checks[name] = true
 				}
 				if len(span.checks) > 0 {
+					if _, seen := ignores[file]; !seen {
+						files = append(files, file)
+					}
 					ignores[file] = append(ignores[file], span)
 				}
 			}
@@ -196,13 +215,57 @@ func applyIgnores(pkgs []*Package, findings []Finding) (active, suppressed []Fin
 		}
 		active = append(active, f)
 	}
+	if cfg.CheckEnabled("unusedignore") {
+		active = append(active, staleIgnores(files, ignores, cfg)...)
+	}
 	return active, suppressed
 }
 
-// matchIgnore finds the first span covering the finding's line and check.
-func matchIgnore(spans []ignoreSpan, f Finding) (string, bool) {
+// staleIgnores turns unused directives into unusedignore findings. A
+// span is judged only when every check it names actually ran; a stale
+// report is itself suppressible by a directive naming unusedignore.
+// Directives naming unusedignore are never themselves judged stale:
+// they are meta-suppressions whose use is only established while this
+// very pass runs, so judging them here would be order-dependent.
+func staleIgnores(files []string, ignores map[string][]*ignoreSpan, cfg *Config) []Finding {
+	var out []Finding
+	for _, file := range files {
+		for _, s := range ignores[file] {
+			if s.used || s.checks["unusedignore"] {
+				continue
+			}
+			allRan := true
+			var names []string
+			for name := range s.checks {
+				names = append(names, name)
+				if !cfg.CheckEnabled(name) {
+					allRan = false
+				}
+			}
+			if !allRan {
+				continue
+			}
+			sort.Strings(names)
+			f := Finding{
+				File: file, Line: s.dLine, Col: s.dCol,
+				Check: "unusedignore",
+				Msg: "ecslint:ignore for " + strings.Join(names, ",") +
+					" suppresses nothing: the check is clean here — remove the stale directive",
+			}
+			if _, ignored := matchIgnore(ignores[file], f); !ignored {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// matchIgnore finds the first span covering the finding's line and
+// check, marking it used.
+func matchIgnore(spans []*ignoreSpan, f Finding) (string, bool) {
 	for _, s := range spans {
 		if f.Line >= s.startLine && f.Line <= s.endLine && s.checks[f.Check] {
+			s.used = true
 			return s.why, true
 		}
 	}

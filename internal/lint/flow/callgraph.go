@@ -52,8 +52,13 @@ type Program struct {
 	Info  *types.Info
 	Funcs []*FuncInfo // declaration order, literals after their encloser
 
-	byObj map[*types.Func]*FuncInfo
-	byLit map[*ast.FuncLit]*FuncInfo
+	// Spawns lists every go statement in the Program, in source order,
+	// with spawned callees resolved where they are statically known.
+	Spawns []*SpawnSite
+
+	byObj   map[*types.Func]*FuncInfo
+	byLit   map[*ast.FuncLit]*FuncInfo
+	spawned map[*FuncInfo][]*SpawnSite
 }
 
 // BuildProgram indexes the functions of the given files.
@@ -78,7 +83,57 @@ func BuildProgram(info *types.Info, files []*ast.File) *Program {
 			p.indexLiterals(fd.Body, fi)
 		}
 	}
+	p.indexSpawns()
 	return p
+}
+
+// SpawnSite is one `go` statement and the function it starts. Callee is
+// the spawned FuncInfo when the goroutine body is analyzable in this
+// Program — a function literal, or a declared in-package function named
+// statically — and nil for dynamic or out-of-package spawns. Encl is
+// the innermost function containing the go statement.
+type SpawnSite struct {
+	Go     *ast.GoStmt
+	Encl   *FuncInfo
+	Callee *FuncInfo
+}
+
+// indexSpawns records every go statement, attributed to its innermost
+// enclosing function, with the spawned callee resolved where possible.
+// Literal bodies are walked through their own FuncInfo, so each GoStmt
+// is visited exactly once.
+func (p *Program) indexSpawns() {
+	p.spawned = make(map[*FuncInfo][]*SpawnSite)
+	for _, fi := range p.Funcs {
+		root := fi.Body
+		ast.Inspect(root, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != root {
+				return false // nested literal: owned by its own FuncInfo
+			}
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			site := &SpawnSite{Go: g, Encl: fi}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				site.Callee = p.byLit[lit]
+			} else if obj := p.StaticCallee(g.Call); obj != nil {
+				site.Callee = p.byObj[obj]
+			}
+			p.Spawns = append(p.Spawns, site)
+			if site.Callee != nil {
+				p.spawned[site.Callee] = append(p.spawned[site.Callee], site)
+			}
+			return true
+		})
+	}
+}
+
+// IsSpawned reports whether f is started by at least one go statement
+// in this Program (the goroutine-boundary fact checks key on: facts
+// established before the spawn are not ordered with the body).
+func (p *Program) IsSpawned(f *FuncInfo) bool {
+	return len(p.spawned[f]) > 0
 }
 
 // indexLiterals registers every function literal nested in body, with

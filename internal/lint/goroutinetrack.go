@@ -5,19 +5,30 @@ import (
 	"go/types"
 )
 
-// goroutinetrackCheck flags untracked `go func` literals in the
-// concurrency-heavy packages. PR 1's Add-after-Wait race came from a
-// request goroutine spawned with no lifecycle tie to its server: Close
-// could start waiting while spawns kept coming. A goroutine literal in
-// these packages must either be tied to a tracker — a call to a
-// sync.WaitGroup method (Add/Done/Wait) or to a method/function named
-// "track" — or be cancellable by referencing a context.Context.
-// Named-function goroutines (`go s.serveUDP(pc)`) are exempt: their
-// tracking is the caller's visible responsibility (s.loops.Add before
-// the spawn).
+// goroutinetrackCheck verifies goroutine lifecycle in the
+// concurrency-heavy packages, built on the flow engine's spawn index.
+// Two rules:
+//
+//   - tracked-or-cancellable: PR 1's Add-after-Wait race came from a
+//     request goroutine spawned with no lifecycle tie to its server:
+//     Close could start waiting while spawns kept coming. A goroutine
+//     literal must either be tied to a tracker — a call to a
+//     sync.WaitGroup method (Add/Done/Wait) or to a method/function
+//     named "track" — or be cancellable by referencing a
+//     context.Context. Named-function goroutines (`go s.serveUDP(pc)`)
+//     are exempt from this rule: their tracking is the caller's visible
+//     responsibility (s.loops.Add before the spawn).
+//
+//   - leak path: every spawned function whose body this package can
+//     see (a literal, or a declared in-package function) must have a
+//     provable exit path — some route from entry to the function's
+//     exit. A body whose reachable blocks all sit in an inescapable
+//     loop (`for {}` with no break/return, `select` with no
+//     terminating case) is a permanent goroutine leak: tracked or not,
+//     Close blocks on it forever. Applies outside test files.
 var goroutinetrackCheck = Check{
 	Name: "goroutinetrack",
-	Doc:  "untracked `go func` literal (no WaitGroup/tracker call, no context.Context)",
+	Doc:  "untracked `go func` literal (no WaitGroup/tracker call, no context.Context), or spawned function with no exit path",
 	Run:  runGoroutinetrack,
 }
 
@@ -25,23 +36,21 @@ func runGoroutinetrack(ctx *Context) {
 	if !pathListed(ctx.Cfg.GoroutinePackages, basePath(ctx.Pkg.ImportPath)) {
 		return
 	}
-	for _, f := range ctx.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			g, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
+	prog := ctx.Pkg.Flow()
+	for _, site := range prog.Spawns {
+		if lit, ok := site.Go.Call.Fun.(*ast.FuncLit); ok {
+			if !ctx.goroutineTracked(lit, site.Go.Call.Args) {
+				ctx.Reportf(site.Go.Pos(),
+					"go func literal is neither tracked (WaitGroup/track call) nor cancellable (no context.Context); Close-time races like PR 1's Add-after-Wait start here")
 			}
-			lit, ok := g.Call.Fun.(*ast.FuncLit)
-			if !ok {
-				return true
-			}
-			if ctx.goroutineTracked(lit, g.Call.Args) {
-				return true
-			}
-			ctx.Reportf(g.Pos(),
-				"go func literal is neither tracked (WaitGroup/track call) nor cancellable (no context.Context); Close-time races like PR 1's Add-after-Wait start here")
-			return true
-		})
+		}
+		if site.Callee == nil || ctx.posInTestFile(site.Go.Pos()) {
+			continue
+		}
+		if !site.Callee.CFG().ExitReachable() {
+			ctx.Reportf(site.Go.Pos(),
+				"goroutine spawned here can never terminate: no path in %s reaches the function's exit — give its loop a ctx/Done case, a close-based range, or a breaking condition", site.Callee.Name())
+		}
 	}
 }
 

@@ -1,0 +1,48 @@
+package lint
+
+import "encoding/json"
+
+// JSONFinding is the stable machine-readable schema for one diagnostic,
+// shared by `ecslint -json` and anything else that serializes findings.
+// Field names are part of the CLI contract (CI problem matchers and
+// editor integrations parse them): add fields, never rename.
+//
+// Suppressed findings carry Suppressed=true and the justification text
+// of the //ecslint:ignore directive that absorbed them in IgnoredBy —
+// the same justification the SARIF path emits as an inSource
+// suppression — so a consumer can audit why a diagnostic was accepted
+// without re-reading the source.
+type JSONFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	IgnoredBy  string `json:"ignoredBy,omitempty"`
+}
+
+// JSONOutput is the top-level -json document: active findings first (in
+// their sorted order), then suppressed ones.
+type JSONOutput struct {
+	Findings []JSONFinding `json:"findings"`
+}
+
+// JSON renders the active and suppressed finding sets as the indented
+// canonical document.
+func JSON(active, suppressed []Finding) ([]byte, error) {
+	out := JSONOutput{Findings: []JSONFinding{}}
+	for _, f := range active {
+		out.Findings = append(out.Findings, JSONFinding{
+			File: f.File, Line: f.Line, Col: f.Col, Check: f.Check, Message: f.Msg,
+		})
+	}
+	for _, f := range suppressed {
+		out.Findings = append(out.Findings, JSONFinding{
+			File: f.File, Line: f.Line, Col: f.Col, Check: f.Check, Message: f.Msg,
+			Suppressed: true,
+			IgnoredBy:  f.IgnoredBy,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

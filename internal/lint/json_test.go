@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestJSONSchema pins the -json wire contract: exact field names, the
+// active/suppressed split, and the omitempty behavior of the
+// suppression fields. CI problem matchers and editor integrations
+// parse these keys — the contract is add fields, never rename — so a
+// rename that slips through shows up here as a missing key, not as a
+// silently broken consumer.
+func TestJSONSchema(t *testing.T) {
+	t.Parallel()
+	active := []Finding{
+		{File: "internal/x/x.go", Line: 7, Col: 3, Check: "wallclock", Msg: "time.Now outside the edges"},
+	}
+	suppressed := []Finding{
+		{File: "internal/x/x.go", Line: 12, Col: 1, Check: "ctxflow", Msg: "blocking send",
+			IgnoredBy: "loopback send cannot block"},
+	}
+	out, err := JSON(active, suppressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc map[string][]map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("-json output is not an object of arrays: %v", err)
+	}
+	findings, ok := doc["findings"]
+	if !ok {
+		t.Fatalf("top-level key %q missing (got %v)", "findings", doc)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (active then suppressed)", len(findings))
+	}
+
+	keysOf := func(m map[string]any) []string {
+		var ks []string
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+
+	// Active findings carry exactly the base keys: suppressed and
+	// ignoredBy are omitempty and must not appear.
+	wantBase := []string{"check", "col", "file", "line", "message"}
+	if got := keysOf(findings[0]); !reflect.DeepEqual(got, wantBase) {
+		t.Errorf("active finding keys = %v, want %v", got, wantBase)
+	}
+
+	// Suppressed findings add the suppression marker and the directive's
+	// justification.
+	wantSuppressed := []string{"check", "col", "file", "ignoredBy", "line", "message", "suppressed"}
+	if got := keysOf(findings[1]); !reflect.DeepEqual(got, wantSuppressed) {
+		t.Errorf("suppressed finding keys = %v, want %v", got, wantSuppressed)
+	}
+	if v, _ := findings[1]["suppressed"].(bool); !v {
+		t.Errorf("suppressed = %v, want true", findings[1]["suppressed"])
+	}
+	if v, _ := findings[1]["ignoredBy"].(string); v != "loopback send cannot block" {
+		t.Errorf("ignoredBy = %q, want the directive justification", v)
+	}
+	if v, _ := findings[0]["line"].(float64); v != 7 {
+		t.Errorf("line = %v, want 7", findings[0]["line"])
+	}
+}
+
+// TestJSONEmpty pins that a clean run emits an empty findings array,
+// not null: `jq '.findings | length'` must work on every run.
+func TestJSONEmpty(t *testing.T) {
+	t.Parallel()
+	out, err := JSON(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Findings []JSONFinding `json:"findings"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Findings == nil || len(doc.Findings) != 0 {
+		t.Fatalf("clean run findings = %v, want present-and-empty array", doc.Findings)
+	}
+}

@@ -70,6 +70,11 @@ func AllChecks() []Check {
 		allocfreeCheck,
 		poollifeCheck,
 		retentionCheck,
+		chanprotocolCheck,
+		wgbalanceCheck,
+		atomicmixCheck,
+		replaydetCheck,
+		unusedignoreCheck,
 	}
 }
 
@@ -130,6 +135,11 @@ type Config struct {
 	// RetentionPackages lists the import paths whose codec call sites
 	// are checked for aliases retained across a repack or pool return.
 	RetentionPackages []string
+
+	// ReplayPackages lists the import paths whose trace/record building
+	// is subject to the replay-determinism rules (no map-iteration
+	// order, no wall-clock or global-rand values in records).
+	ReplayPackages []string
 }
 
 // DefaultConfig is the policy for this module: the allowlists mirror the
@@ -186,6 +196,12 @@ func DefaultConfig() *Config {
 			"ecsdns/internal/dnsclient",
 			"ecsdns/internal/dnsserver",
 			"ecsdns/internal/scanner",
+		},
+		// The replay-identity witnesses live here: BreakerTrace and the
+		// fault/latency plans.
+		ReplayPackages: []string{
+			"ecsdns/internal/upstreams",
+			"ecsdns/internal/netem",
 		},
 	}
 }
@@ -247,6 +263,19 @@ type GlobalContext struct {
 	Cfg      *Config
 	check    string
 	findings *[]Finding
+}
+
+// reportAs records a finding under a different check name than the
+// running one: the suppression-audit findings of unusedignore are
+// produced inside applyIgnores and allocfree rather than by a walker of
+// their own, but must carry their own check name for directives and
+// rule mapping.
+func (g *GlobalContext) reportAs(check, file string, line, col int, format string, args ...any) {
+	*g.findings = append(*g.findings, Finding{
+		File: file, Line: line, Col: col,
+		Check: check,
+		Msg:   fmt.Sprintf(format, args...),
+	})
 }
 
 // Reportf records a finding at pos, resolved through pkg's file set.
@@ -315,7 +344,7 @@ func RunAll(pkgs []*Package, cfg *Config) (active, suppressed []Finding) {
 		chk.Global(gctx)
 	}
 
-	active, suppressed = applyIgnores(pkgs, findings)
+	active, suppressed = applyIgnores(pkgs, findings, cfg)
 	sortFindings(active)
 	sortFindings(suppressed)
 	return dedupeFindings(active), dedupeFindings(suppressed)

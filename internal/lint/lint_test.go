@@ -42,14 +42,27 @@ func loadFixture(t *testing.T, l *Loader, name string) *Package {
 
 // fixtureConfig enables exactly one check, with the allow/target lists
 // pointed at the fixture packages (and the real codec packages, which
-// the uncheckederr fixtures import).
+// the uncheckederr fixtures import). The unusedignore fixtures also
+// enable the producers of the findings their directives claim to
+// suppress: staleness is only judged for checks that ran, and the
+// //ecsalloc:sink audit lives inside allocfree.
 func fixtureConfig(check string) *Config {
-	return &Config{
+	cfg := &Config{
 		Enabled:        map[string]bool{check: true},
 		WallclockAllow: []string{"fixture/wallclockallowed"},
 		GoroutinePackages: []string{
 			"fixture/goroutinetrackbad",
 			"fixture/goroutinetrackgood",
+			"fixture/chanprotocolbad",
+			"fixture/chanprotocolgood",
+			"fixture/wgbalancebad",
+			"fixture/wgbalancegood",
+			"fixture/atomicmixbad",
+			"fixture/atomicmixgood",
+		},
+		ReplayPackages: []string{
+			"fixture/replaydetbad",
+			"fixture/replaydetgood",
 		},
 		CodecPackages: []string{
 			"ecsdns/internal/dnswire",
@@ -72,6 +85,11 @@ func fixtureConfig(check string) *Config {
 			"fixture/retentiongood",
 		},
 	}
+	if check == "unusedignore" {
+		cfg.Enabled["wallclock"] = true
+		cfg.Enabled["allocfree"] = true
+	}
+	return cfg
 }
 
 // TestCheckGolden runs each check over its positive (clean) and
@@ -95,6 +113,11 @@ func TestCheckGolden(t *testing.T) {
 		{"allocfree", []string{"allocfreegood", "allocfreebad"}},
 		{"poollife", []string{"poollifegood", "poollifebad"}},
 		{"retention", []string{"retentiongood", "retentionbad"}},
+		{"chanprotocol", []string{"chanprotocolgood", "chanprotocolbad"}},
+		{"wgbalance", []string{"wgbalancegood", "wgbalancebad"}},
+		{"atomicmix", []string{"atomicmixgood", "atomicmixbad"}},
+		{"replaydet", []string{"replaydetgood", "replaydetbad"}},
+		{"unusedignore", []string{"unusedignoregood", "unusedignorebad"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {

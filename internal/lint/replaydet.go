@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// replaydetCheck tracks determinism of the replay artifacts: the
+// BreakerTrace/FaultStats-style records whose byte-for-byte equality
+// across two runs of one seeded fault plan is the repo's replay
+// contract (dynamically enforced by the chaos harnesses, statically by
+// this check).
+//
+// Two leak classes:
+//
+//   - map iteration order: a `range m` over a map whose body appends to
+//     a slice declared outside the loop — without the function sorting
+//     that slice afterwards — or prints through the fmt family, bakes
+//     Go's randomized iteration order into the artifact.
+//
+//   - nondeterministic values: results of time.Now/time.Since or of
+//     package-level math/rand functions (which are globally, not
+//     plan-seeded) flowing directly into an append, a composite
+//     literal, or a channel send. Injected clocks (cfg.Now()) and
+//     seeded *rand.Rand methods are fine and not matched.
+//
+// Test files are exempt: assertions may range maps freely.
+var replaydetCheck = Check{
+	Name: "replaydet",
+	Doc:  "map iteration order or wall-clock/global-rand values reaching replay trace records",
+	Run:  runReplaydet,
+}
+
+func runReplaydet(ctx *Context) {
+	if !pathListed(ctx.Cfg.ReplayPackages, basePath(ctx.Pkg.ImportPath)) {
+		return
+	}
+	for _, f := range ctx.Pkg.Files {
+		if ctx.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctx.checkMapOrder(fd)
+		}
+		ctx.checkNondetValues(f)
+	}
+}
+
+// checkMapOrder inspects every map range in fd for order leaks.
+func (c *Context) checkMapOrder(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := c.Pkg.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c.checkMapRangeBody(fd, rs)
+		return true
+	})
+}
+
+// checkMapRangeBody flags appends to outer slices (unless sorted after
+// the loop) and fmt output inside one map-range body.
+func (c *Context) checkMapRangeBody(fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	root := rs.Body
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != root {
+			return false // its own function; ranges there are its own problem
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				if !isAppendCall(c.Pkg, rhs) {
+					continue
+				}
+				target := ast.Unparen(x.Lhs[i])
+				if !declaredOutside(c.Pkg, target, rs) {
+					continue
+				}
+				if sortedAfter(c.Pkg, fd, rs, target) {
+					continue
+				}
+				c.Reportf(x.Pos(), "append to %s inside a map range bakes the map's randomized iteration order into it; sort it after the loop or iterate sorted keys",
+					exprString(c.Pkg.Fset, target))
+			}
+		case *ast.CallExpr:
+			if isFmtOutput(c.Pkg, x) {
+				c.Reportf(x.Pos(), "output emitted inside a map range follows the map's randomized iteration order; collect and sort first")
+			}
+		}
+		return true
+	})
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func isAppendCall(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside reports whether the append target lives beyond the
+// range statement: a selector (field/package state) always does; an
+// ident does when its declaration precedes the loop.
+func declaredOutside(pkg *Package, target ast.Expr, rs *ast.RangeStmt) bool {
+	switch t := target.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.Ident:
+		obj := pkg.Info.Uses[t]
+		if obj == nil {
+			obj = pkg.Info.Defs[t]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos()
+	}
+	return false
+}
+
+// sortedAfter reports whether fd contains, after the range loop, a call
+// into the sort or slices package that mentions the append target.
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, target ast.Expr) bool {
+	want := exprString(pkg.Fset, target)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if e, ok := m.(ast.Expr); ok && exprString(pkg.Fset, ast.Unparen(e)) == want {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isFmtOutput matches the fmt print family (Print, Printf, Println,
+// Fprint*): emission points where ordering is the artifact.
+func isFmtOutput(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// checkNondetValues flags wall-clock and global-rand calls whose result
+// flows directly into record-building positions: append arguments,
+// composite literal elements, channel sends.
+func (c *Context) checkNondetValues(f *ast.File) {
+	var spans []recordSpan
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isAppendCall(c.Pkg, ast.Expr(x)) && len(x.Args) > 1 {
+				spans = append(spans, recordSpan{x.Args[1].Pos(), x.End(), "an append"})
+			}
+		case *ast.CompositeLit:
+			spans = append(spans, recordSpan{x.Lbrace, x.Rbrace, "a composite literal"})
+		case *ast.SendStmt:
+			spans = append(spans, recordSpan{x.Value.Pos(), x.Value.End(), "a channel send"})
+		}
+		return true
+	})
+	if len(spans) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind := nondetSource(c.Pkg, call)
+		if kind == "" {
+			return true
+		}
+		for _, s := range spans {
+			if call.Pos() >= s.from && call.End() <= s.to {
+				c.Reportf(call.Pos(), "%s flows into %s: replaying the same fault plan yields a different record — thread the injected clock/seeded source instead", kind, s.what)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+type recordSpan struct {
+	from, to token.Pos
+	what     string
+}
+
+// nondetSource classifies a call as wall-clock or globally-seeded rand,
+// or returns "". Only package-level functions match: methods on an
+// injected clock or a seeded *rand.Rand are deterministic under replay.
+func nondetSource(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + "()"
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Name() != "New" && fn.Name() != "NewSource" {
+			return "global " + fn.Pkg().Name() + "." + fn.Name() + "()"
+		}
+	}
+	return ""
+}

@@ -61,6 +61,11 @@ var flowFixtures = []string{
 	"allocfreebad", "allocfreegood",
 	"poollifebad", "poollifegood",
 	"retentionbad", "retentiongood",
+	"chanprotocolbad", "chanprotocolgood",
+	"wgbalancebad", "wgbalancegood",
+	"atomicmixbad", "atomicmixgood",
+	"replaydetbad", "replaydetgood",
+	"unusedignorebad", "unusedignoregood",
 }
 
 // allChecksFixtureConfig enables every registered check against the
@@ -159,6 +164,34 @@ func BenchmarkLintTree(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Run(pkgs, cfg)
+	}
+}
+
+// BenchmarkLintPerCheck times each registered check alone over the real
+// module tree, with loading and flow-graph construction shared across
+// sub-benchmarks. The per-check rows land in results/BENCH_lint.json
+// next to the whole-table number, so a check whose cost quietly goes
+// superlinear is visible as its own line on the perf trajectory instead
+// of hiding inside the aggregate.
+func BenchmarkLintPerCheck(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		b.Fatalf("loading packages: %v", err)
+	}
+	for _, c := range AllChecks() {
+		b.Run(c.Name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.EnableAll = false
+			cfg.Enabled = map[string]bool{c.Name: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Run(pkgs, cfg)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,36 @@
+// Package atomicmixbad breaks the atomic discipline three ways: a
+// plain read of an atomically-published field, a 64-bit atomic on a
+// misaligned field, and atomic carriers copied by value.
+package atomicmixbad
+
+import "sync/atomic"
+
+type stats struct {
+	ready bool
+	total int64 // offset 4 under 32-bit layout: 64-bit atomics fault
+}
+
+// record publishes total atomically...
+func (s *stats) record(n int64) {
+	atomic.AddInt64(&s.total, n)
+}
+
+// ...and read reads the same field plainly: the read does not
+// synchronize with record and can tear.
+func (s *stats) read() int64 {
+	return s.total
+}
+
+type meter struct {
+	n atomic.Int64
+}
+
+// sample copies the meter — and the atomic inside it — by value.
+func sample(m meter) int64 {
+	return m.n.Load()
+}
+
+// peek does the same through a value receiver.
+func (m meter) peek() int64 {
+	return m.n.Load()
+}

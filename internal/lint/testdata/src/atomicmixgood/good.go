@@ -1,0 +1,37 @@
+// Package atomicmixgood uses sync/atomic consistently: every access to
+// an atomically-published field is atomic, 64-bit fields lead the
+// struct so they are 8-byte aligned even under 32-bit layout, and
+// atomic carriers travel by pointer.
+package atomicmixgood
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64 // 64-bit atomics first: aligned at offset 0 on 386
+	flag  uint32
+	label string
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreUint32(&c.flag, 1)
+}
+
+func (c *counters) snapshot() (int64, uint32) {
+	return atomic.LoadInt64(&c.hits), atomic.LoadUint32(&c.flag)
+}
+
+// name reads a field that is never touched atomically: plain access to
+// plain state is fine.
+func (c *counters) name() string {
+	return c.label
+}
+
+type gauge struct {
+	v atomic.Int64
+}
+
+// observe takes the carrier by pointer: no atomic is copied.
+func observe(g *gauge) int64 {
+	return g.v.Load()
+}

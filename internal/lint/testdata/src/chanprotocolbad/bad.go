@@ -1,0 +1,75 @@
+// Package chanprotocolbad violates each channel-protocol rule once:
+// non-owner close, non-creator close, parameter close, double close,
+// send on closed, inescapable receive, and every grammar error the
+// //ecschan directive parser reports.
+package chanprotocolbad
+
+type conn struct {
+	//ecschan:owner Shutdown
+	stopc chan struct{}
+	datac chan int
+}
+
+func newConn() *conn {
+	return &conn{stopc: make(chan struct{}), datac: make(chan int)}
+}
+
+// Shutdown is the declared owner of stopc.
+func (c *conn) Shutdown() {
+	close(c.stopc)
+}
+
+// abort closes stopc without being a declared owner.
+func (c *conn) abort() {
+	close(c.stopc)
+}
+
+// stop closes datac, which newConn created; only the creator may.
+func (c *conn) stop() {
+	close(c.datac)
+}
+
+// drain closes a receive-capable parameter channel: the receiving side
+// never owns a channel it was handed.
+func drain(ch chan int) {
+	for range ch {
+	}
+	close(ch)
+}
+
+// doubleClose closes the same channel twice on one path.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+
+// sendAfterClose sends on a channel already closed on this path.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1
+}
+
+// spin receives forever: no close-based range, no Done case, no
+// breaking condition — the goroutine parked here can never be freed.
+func spin(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+type misuse struct {
+	//ecschan:close Stop
+	a chan int
+	//ecschan:owner
+	b chan int
+	//ecschan:owner missing
+	c chan int
+	//ecschan:owner Shutdown
+	n int
+}
+
+//ecschan:owner Shutdown
+
+var unattached = 0

@@ -1,0 +1,73 @@
+// Package chanprotocolgood holds the channel-protocol shapes the check
+// must accept: annotated owners, creator closes, send-only completion
+// signals, fresh-channel-per-iteration close loops, and receive loops
+// with a provable exit.
+package chanprotocolgood
+
+import "context"
+
+type server struct {
+	//ecschan:owner Close
+	stopc chan struct{}
+	jobs  chan int
+}
+
+func newServer() *server {
+	return &server{stopc: make(chan struct{}), jobs: make(chan int)}
+}
+
+// Close is the declared owner of stopc.
+func (s *server) Close() {
+	close(s.stopc)
+}
+
+// makeAndClose both creates and closes its channel: the creator is the
+// inferred owner, even when the close happens in a nested literal.
+func makeAndClose() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// signalDone closes its send-only parameter: the direction declares
+// exactly the completion-signal ownership the close exercises.
+func signalDone(done chan<- struct{}) {
+	close(done)
+}
+
+// drainUntilClosed ranges over the channel: the peer's close ends the
+// loop, so the receive always has an exit path.
+func drainUntilClosed(jobs chan int) int {
+	total := 0
+	for j := range jobs {
+		total += j
+	}
+	return total
+}
+
+// workUntilStopped receives in a select with a cancellation case.
+func (s *server) workUntilStopped(ctx context.Context) int {
+	n := 0
+	for {
+		select {
+		case j := <-s.jobs:
+			n += j
+		case <-ctx.Done():
+			return n
+		}
+	}
+}
+
+type group struct {
+	servers []*server
+}
+
+// Close closes a fresh channel per iteration: the close fact reaching
+// itself around the loop back edge is not a double close.
+func (g *group) Close() {
+	for _, s := range g.servers {
+		close(s.stopc)
+	}
+}

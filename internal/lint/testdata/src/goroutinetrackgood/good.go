@@ -81,3 +81,25 @@ func (p *pool) startLiteral(n int) {
 		}()
 	}
 }
+
+type stoppable struct {
+	jobs  chan func()
+	stopc chan struct{}
+}
+
+// loop has a provable exit path through the stop case: the spawned
+// goroutine can always be reclaimed by shutdown.
+func (s *stoppable) loop() {
+	for {
+		select {
+		case j := <-s.jobs:
+			j()
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+func startStoppable(s *stoppable) {
+	go s.loop()
+}

@@ -1,0 +1,45 @@
+// Package replaydetbad bakes nondeterminism into replay records: map
+// iteration order reaching a slice and stdout, and wall-clock/global-
+// rand values reaching record-building positions.
+package replaydetbad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+type record struct {
+	at  time.Time
+	tag string
+}
+
+// keysUnsorted appends map keys in iteration order and never sorts.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// dumpUnsorted emits output in map iteration order.
+func dumpUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// stampWallClock stamps a record off the wall clock: two runs of the
+// same fault plan produce different artifacts.
+func stampWallClock(tag string) []record {
+	var out []record
+	out = append(out, record{at: time.Now(), tag: tag})
+	return out
+}
+
+// sendGlobalRand sends a globally-seeded sample into the trace
+// channel: the global source ignores the plan seed.
+func sendGlobalRand(ch chan int64) {
+	ch <- rand.Int63()
+}

@@ -1,0 +1,60 @@
+// Package replaydetgood builds replay records deterministically: map
+// ranges are sorted before they become output, clocks are injected,
+// and random values come from a plan-seeded source.
+package replaydetgood
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type event struct {
+	seq  int
+	name string
+}
+
+// sortedKeys collects map keys in iteration order, then sorts: the
+// randomized order never reaches the artifact.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perEntry appends only to a slice scoped inside the loop body: its
+// order dies with each iteration.
+func perEntry(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var batch []int
+		batch = append(batch, vs...)
+		total += len(batch)
+	}
+	return total
+}
+
+// seeded threads a plan-seeded source: methods on a *rand.Rand are
+// deterministic under replay, unlike the global functions.
+func seeded(seed int64, n int) []event {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, event{seq: int(r.Int63()), name: "e"})
+	}
+	return out
+}
+
+type clock interface {
+	Now() time.Time
+}
+
+// stamped reads the injected clock: a method call, not time.Now, so
+// the harness controls what the record sees.
+func stamped(c clock, seq int) int64 {
+	stamps := []int64{c.Now().UnixNano(), int64(seq)}
+	return stamps[0] + stamps[1]
+}

@@ -1,0 +1,23 @@
+// Package unusedignorebad hoards suppressions that suppress nothing:
+// directives for checks that ran and found the code clean, and a sink
+// on a zero-alloc path with no allocation to absorb.
+package unusedignorebad
+
+// stale names a check that runs and finds nothing on its span.
+func stale() int {
+	//ecslint:ignore wallclock nothing on this line touches the clock
+	return 2
+}
+
+// staleSameLine rides a clean expression.
+func staleSameLine() int {
+	return 3 //ecslint:ignore wallclock clean line, stale directive
+}
+
+// sum is zero-alloc all by itself: its sink absorbs no site.
+//
+//ecsalloc:zero
+func sum(a, b int) int {
+	//ecsalloc:sink nothing allocates here
+	return a + b
+}

@@ -1,0 +1,64 @@
+// Package wgbalancebad violates each WaitGroup rule once: a leaked
+// Add, an unmatched Done, an Add inside the spawned goroutine, a
+// conditional Done, and a Wait under a mutex.
+package wgbalancebad
+
+import "sync"
+
+// leak Adds for a goroutine that never calls Done: Wait hangs.
+func leak(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+	}()
+	wg.Wait()
+}
+
+// overDone spawns a Done with no matching Add: the counter goes
+// negative and panics.
+func overDone() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// addInside moves the Add into the spawned goroutine: the parent's
+// Wait can run before the scheduler ever starts it (the PR 1 bug
+// class).
+func addInside(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// condDone skips Done on the false branch.
+func condDone(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if ok {
+			wg.Done()
+		}
+	}()
+	wg.Wait()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+// waitUnderLock waits while holding the mutex the workers may need to
+// finish.
+func (g *guarded) waitUnderLock() {
+	g.mu.Lock()
+	g.wg.Wait()
+	g.mu.Unlock()
+}

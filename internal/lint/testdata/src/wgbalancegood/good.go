@@ -1,0 +1,54 @@
+// Package wgbalancegood holds WaitGroup protocols the interval
+// analysis must accept: Add-before-spawn matched by the goroutine's
+// deferred Done, and a non-constant Add the analysis declines to
+// judge.
+package wgbalancegood
+
+import "sync"
+
+// fanOut is the canonical balanced fan-out: Add before spawn, deferred
+// Done inside the goroutine, Wait after the loop.
+func fanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(j)
+	}
+	wg.Wait()
+}
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+// start pairs each Add with the named worker's deferred Done.
+func (s *server) start(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+}
+
+func (s *server) wait() {
+	s.wg.Wait()
+}
+
+// dynamic Adds a non-constant count: the analysis cannot verify the
+// balance and must stay silent rather than guess.
+func dynamic(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,636 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ecsdns/internal/lint/flow"
+)
+
+// wgbalanceCheck verifies sync.WaitGroup counter discipline in the
+// concurrency-heavy packages, with the interval machinery from
+// counterpartition: per WaitGroup identity (lockClass of the receiver),
+// a forward analysis tracks the net counter delta [min, max] along
+// every path, folding in the summaries of static callees, spawned
+// goroutine bodies, and single-assignment local closures.
+//
+// Rules:
+//
+//   - spawn balance: a function that spawns goroutines must leave
+//     every WaitGroup it touches net zero on each exit path — every
+//     Add(n) matched by n reachable Done()s, counting the eventual
+//     Dones of the goroutines it starts. min > 0 leaks the counter
+//     (Wait hangs forever); max < 0 over-Dones it (panic: negative
+//     WaitGroup counter).
+//
+//   - Add inside the spawned goroutine (the PR 1 bug class): the
+//     parent's Wait may run before the scheduler ever starts the
+//     goroutine, so the Add races the Wait. Flagged unless the spawned
+//     body Waits on the same WaitGroup itself (a self-contained
+//     coordinator).
+//
+//   - conditional Done: a spawned goroutine whose summary has
+//     min != max for some WaitGroup has an exit path that skips Done.
+//
+//   - Wait under lock: wg.Wait() while holding a mutex (per the
+//     lockorder model) stalls every contender behind goroutines that
+//     may themselves need the lock to finish.
+//
+// The analysis declines to judge (stays silent for that WaitGroup
+// identity) when it cannot be sound: non-constant Add(n), the
+// WaitGroup escaping into an unresolvable call, or a spawn whose body
+// it cannot see. Test files are exempt.
+var wgbalanceCheck = Check{
+	Name: "wgbalance",
+	Doc:  "WaitGroup counter imbalance: Add without reachable Done, Add inside the spawned goroutine, Wait under lock",
+	Run:  runWgbalance,
+}
+
+// wgCount is the counter-delta interval [min, max], saturating at ±3.
+type wgCount struct {
+	min, max int
+}
+
+func (a wgCount) join(b wgCount) wgCount {
+	return wgCount{min: minInt(a.min, b.min), max: maxInt(a.max, b.max)}
+}
+
+func (a wgCount) add(b wgCount) wgCount {
+	return wgCount{min: clampWg(a.min + b.min), max: clampWg(a.max + b.max)}
+}
+
+func clampWg(n int) int {
+	if n > 3 {
+		return 3
+	}
+	if n < -3 {
+		return -3
+	}
+	return n
+}
+
+// wgFacts is the lattice element: WaitGroup class -> delta interval.
+// The zero value (reached == false) is the unreached bottom; absent
+// classes are [0, 0].
+type wgFacts struct {
+	deltas  map[string]wgCount
+	reached bool
+}
+
+func (f wgFacts) get(class string) wgCount {
+	return f.deltas[class]
+}
+
+// wgSummary is the memoized whole-function effect: total exit delta
+// (joined over exit paths, deferred Dones included) plus the
+// soundness escapes encountered anywhere in the call tree.
+type wgSummary struct {
+	total  map[string]wgCount
+	bail   map[string]bool // classes the analysis cannot verify
+	opaque bool            // an unresolvable spawn somewhere in the tree
+}
+
+// wgState carries the per-package machinery shared across functions.
+type wgState struct {
+	c         *Context
+	prog      *flow.Program
+	bindings  map[*types.Var]*flow.FuncInfo
+	summaries map[*flow.FuncInfo]*wgSummary
+	spawning  map[*flow.FuncInfo]bool
+}
+
+func runWgbalance(ctx *Context) {
+	if !pathListed(ctx.Cfg.GoroutinePackages, basePath(ctx.Pkg.ImportPath)) {
+		return
+	}
+	prog := ctx.Pkg.Flow()
+	st := &wgState{
+		c:         ctx,
+		prog:      prog,
+		bindings:  closureBindings(ctx.Pkg, prog),
+		summaries: make(map[*flow.FuncInfo]*wgSummary),
+		spawning:  make(map[*flow.FuncInfo]bool),
+	}
+	for _, site := range prog.Spawns {
+		st.spawning[site.Encl] = true
+	}
+
+	for _, fi := range prog.Funcs {
+		if ctx.posInTestFile(fi.Body.Pos()) {
+			continue
+		}
+		st.checkWaitUnderLock(fi)
+		if st.spawning[fi] && !prog.IsSpawned(fi) {
+			st.checkExitBalance(fi)
+		}
+	}
+	for _, site := range prog.Spawns {
+		if site.Callee == nil || ctx.posInTestFile(site.Go.Pos()) {
+			continue
+		}
+		st.checkSpawnedBody(site)
+	}
+}
+
+// closureBindings maps single-assignment local function bindings
+// (`launch := func(...) {...}`, never reassigned) to the literal's
+// FuncInfo, so calls through the binding resolve like static calls.
+func closureBindings(pkg *Package, prog *flow.Program) map[*types.Var]*flow.FuncInfo {
+	out := make(map[*types.Var]*flow.FuncInfo)
+	assigned := make(map[*types.Var]int)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				v, ok := obj.(*types.Var)
+				if !ok {
+					continue
+				}
+				assigned[v]++
+				if as.Tok == token.DEFINE && len(as.Lhs) == len(as.Rhs) {
+					if lit, ok := as.Rhs[i].(*ast.FuncLit); ok {
+						if fi := prog.LitOf(lit); fi != nil {
+							out[v] = fi
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for v := range out {
+		if assigned[v] != 1 {
+			delete(out, v)
+		}
+	}
+	return out
+}
+
+// wgMethod resolves call to a sync.WaitGroup method, returning the
+// selector and method object (nil when it is not one).
+func wgMethod(pkg *Package, call *ast.CallExpr) (*ast.SelectorExpr, *types.Func) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !isWaitGroupMethod(fn) {
+		return nil, nil
+	}
+	return sel, fn
+}
+
+// isWaitGroupExpr reports whether e has (a pointer to) sync.WaitGroup
+// type, and returns the receiver expression for classing.
+func isWaitGroupExpr(pkg *Package, e ast.Expr) (ast.Expr, bool) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+		return e, true
+	}
+	return nil, false
+}
+
+// constIntArg returns the constant integer value of e, if it has one.
+func constIntArg(pkg *Package, e ast.Expr) (int, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	n, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// summaryOf computes fi's whole-function WaitGroup effect, memoized
+// with the usual cycle cut to the empty summary.
+func (st *wgState) summaryOf(fi *flow.FuncInfo) *wgSummary {
+	if s, ok := st.summaries[fi]; ok {
+		return s
+	}
+	st.summaries[fi] = &wgSummary{} // cycle cut
+	sum := &wgSummary{bail: make(map[string]bool)}
+	res := st.solve(fi, sum)
+
+	out := wgFacts{}
+	for _, blk := range fi.CFG().ExitBlocks() {
+		o := res.Out[blk]
+		if !o.reached {
+			continue
+		}
+		if !out.reached {
+			out = o
+			continue
+		}
+		out = st.joinFacts(out, o)
+	}
+	total := make(map[string]wgCount)
+	if out.reached {
+		for class, cnt := range out.deltas {
+			total[class] = cnt
+		}
+	}
+	for class, cnt := range st.deferDelta(fi) {
+		total[class] = total[class].add(cnt)
+	}
+	sum.total = total
+	st.summaries[fi] = sum
+	return sum
+}
+
+// solve runs the delta-interval dataflow for fi, accumulating
+// soundness escapes into sum.
+func (st *wgState) solve(fi *flow.FuncInfo, sum *wgSummary) *flow.Result[wgFacts] {
+	analysis := flow.Analysis[wgFacts]{
+		Entry:     wgFacts{deltas: map[string]wgCount{}, reached: true},
+		Unreached: wgFacts{},
+		Join:      st.joinFacts,
+		Equal:     equalWgFacts,
+		Transfer: func(n ast.Node, in wgFacts) wgFacts {
+			delta := st.nodeDelta(n, sum)
+			if len(delta) == 0 || !in.reached {
+				return in
+			}
+			out := wgFacts{deltas: make(map[string]wgCount, len(in.deltas)+len(delta)), reached: true}
+			for k, v := range in.deltas {
+				out.deltas[k] = v
+			}
+			for k, v := range delta {
+				out.deltas[k] = out.deltas[k].add(v)
+			}
+			return out
+		},
+	}
+	return flow.Solve(fi.CFG(), analysis)
+}
+
+func (st *wgState) joinFacts(a, b wgFacts) wgFacts {
+	if !a.reached {
+		return b
+	}
+	if !b.reached {
+		return a
+	}
+	out := wgFacts{deltas: make(map[string]wgCount, len(a.deltas)), reached: true}
+	for k := range a.deltas {
+		out.deltas[k] = a.get(k).join(b.get(k))
+	}
+	for k := range b.deltas {
+		if _, ok := a.deltas[k]; !ok {
+			out.deltas[k] = a.get(k).join(b.get(k))
+		}
+	}
+	return out
+}
+
+func equalWgFacts(a, b wgFacts) bool {
+	if a.reached != b.reached {
+		return false
+	}
+	for k := range a.deltas {
+		if a.get(k) != b.get(k) {
+			return false
+		}
+	}
+	for k := range b.deltas {
+		if a.get(k) != b.get(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeDelta computes one CFG node's contribution: direct Add/Done
+// calls, spawned goroutine summaries, and resolved callee summaries.
+// Deferred statements contribute nothing here (they run at exit, see
+// deferDelta).
+func (st *wgState) nodeDelta(n ast.Node, sum *wgSummary) map[string]wgCount {
+	pkg := st.c.Pkg
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return nil
+	}
+	if g, ok := n.(*ast.GoStmt); ok {
+		return st.spawnDelta(g, sum)
+	}
+	var delta map[string]wgCount
+	bump := func(class string, cnt wgCount) {
+		if delta == nil {
+			delta = make(map[string]wgCount)
+		}
+		delta[class] = delta[class].add(cnt)
+	}
+	flow.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sel, fn := wgMethod(pkg, x); fn != nil {
+				class := lockClass(pkg, sel.X)
+				switch fn.Name() {
+				case "Add":
+					if v, ok := constIntArg(pkg, x.Args[0]); ok {
+						bump(class, wgCount{min: clampWg(v), max: clampWg(v)})
+					} else {
+						sum.bail[class] = true
+					}
+				case "Done":
+					bump(class, wgCount{min: -1, max: -1})
+				}
+				return true
+			}
+			if callee := st.resolveCall(x); callee != nil {
+				cs := st.summaryOf(callee)
+				for class, cnt := range cs.total {
+					// A synchronous callee with a conditional effect
+					// (admitConn returning whether it Added) couples the
+					// delta to a return value this analysis does not
+					// track; judging the caller would be guessing.
+					if cnt.min != cnt.max {
+						sum.bail[class] = true
+						continue
+					}
+					bump(class, cnt)
+				}
+				for class := range cs.bail {
+					sum.bail[class] = true
+				}
+				if cs.opaque {
+					sum.opaque = true
+				}
+				return true
+			}
+			// Opaque call: any WaitGroup handed to it escapes the
+			// analysis.
+			for _, arg := range x.Args {
+				if recv, ok := isWaitGroupExpr(pkg, arg); ok {
+					sum.bail[lockClass(pkg, recv)] = true
+				}
+			}
+		}
+		return true
+	})
+	return delta
+}
+
+// spawnDelta folds a go statement's eventual counter effect in at the
+// spawn point: the Dones the goroutine will run balance the Adds the
+// parent made for it.
+func (st *wgState) spawnDelta(g *ast.GoStmt, sum *wgSummary) map[string]wgCount {
+	var callee *flow.FuncInfo
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		callee = st.prog.LitOf(lit)
+	} else if obj := st.prog.StaticCallee(g.Call); obj != nil {
+		callee = st.prog.FuncOf(obj)
+	}
+	if callee == nil {
+		sum.opaque = true
+		return nil
+	}
+	cs := st.summaryOf(callee)
+	for class := range cs.bail {
+		sum.bail[class] = true
+	}
+	if cs.opaque {
+		sum.opaque = true
+	}
+	if len(cs.total) == 0 {
+		return nil
+	}
+	delta := make(map[string]wgCount, len(cs.total))
+	for class, cnt := range cs.total {
+		delta[class] = cnt
+	}
+	return delta
+}
+
+// resolveCall returns the analyzable FuncInfo a call statically
+// reaches: an in-package declared function/method, or a
+// single-assignment local closure binding.
+func (st *wgState) resolveCall(call *ast.CallExpr) *flow.FuncInfo {
+	if obj := st.prog.StaticCallee(call); obj != nil {
+		return st.prog.FuncOf(obj)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v, ok := st.c.Pkg.Info.Uses[id].(*types.Var); ok {
+			return st.bindings[v]
+		}
+	}
+	return nil
+}
+
+// deferDelta sums the deferred Add/Done effects of fi, which run on
+// every exit path. Deferred literals contribute their direct calls.
+func (st *wgState) deferDelta(fi *flow.FuncInfo) map[string]wgCount {
+	pkg := st.c.Pkg
+	delta := make(map[string]wgCount)
+	for _, d := range fi.CFG().Defers {
+		if sel, fn := wgMethod(pkg, d.Call); fn != nil {
+			class := lockClass(pkg, sel.X)
+			switch fn.Name() {
+			case "Done":
+				delta[class] = delta[class].add(wgCount{min: -1, max: -1})
+			case "Add":
+				if v, ok := constIntArg(pkg, d.Call.Args[0]); ok {
+					delta[class] = delta[class].add(wgCount{min: clampWg(v), max: clampWg(v)})
+				}
+			}
+			continue
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			root := lit.Body
+			ast.Inspect(root, func(n ast.Node) bool {
+				if l, ok := n.(*ast.FuncLit); ok && l.Body != root {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, fn := wgMethod(pkg, call)
+				if fn == nil {
+					return true
+				}
+				class := lockClass(pkg, sel.X)
+				switch fn.Name() {
+				case "Done":
+					delta[class] = delta[class].add(wgCount{min: -1, max: -1})
+				case "Add":
+					if v, ok := constIntArg(pkg, call.Args[0]); ok {
+						delta[class] = delta[class].add(wgCount{min: clampWg(v), max: clampWg(v)})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return delta
+}
+
+// checkExitBalance verifies that a goroutine-spawning function leaves
+// every verifiable WaitGroup net zero on each exit path.
+func (st *wgState) checkExitBalance(fi *flow.FuncInfo) {
+	sum := &wgSummary{bail: make(map[string]bool)}
+	res := st.solve(fi, sum)
+	if sum.opaque {
+		return
+	}
+	defers := st.deferDelta(fi)
+	name := fi.Name()
+	for _, blk := range fi.CFG().ExitBlocks() {
+		out := res.Out[blk]
+		if !out.reached {
+			continue
+		}
+		classes := make(map[string]bool, len(out.deltas)+len(defers))
+		for class := range out.deltas {
+			classes[class] = true
+		}
+		for class := range defers {
+			classes[class] = true
+		}
+		var sorted []string
+		for class := range classes {
+			if !sum.bail[class] {
+				sorted = append(sorted, class)
+			}
+		}
+		sort.Strings(sorted)
+		pos := exitPos(fi, blk)
+		for _, class := range sorted {
+			eff := out.get(class).add(defers[class])
+			if eff.min > 0 {
+				st.c.Reportf(pos, "an exit path of %s leaves %s raised by %d (Add without a reachable Done): Wait on it hangs forever",
+					name, shortWgClass(class), eff.min)
+			}
+			if eff.max < 0 {
+				st.c.Reportf(pos, "an exit path of %s drives %s negative (Done without a matching Add): panics at runtime",
+					name, shortWgClass(class))
+			}
+		}
+	}
+}
+
+// checkSpawnedBody enforces the goroutine-boundary rules on one spawn
+// site with a resolved body: no Add inside the spawned goroutine
+// (unless it Waits the same WaitGroup itself), and no conditional
+// Done.
+func (st *wgState) checkSpawnedBody(site *flow.SpawnSite) {
+	pkg := st.c.Pkg
+	callee := site.Callee
+	root := callee.Body
+
+	waited := make(map[string]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok && l.Body != root {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, fn := wgMethod(pkg, call); fn != nil && fn.Name() == "Wait" {
+				waited[lockClass(pkg, sel.X)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(root, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok && l.Body != root {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, fn := wgMethod(pkg, call)
+		if fn == nil || fn.Name() != "Add" {
+			return true
+		}
+		class := lockClass(pkg, sel.X)
+		if !waited[class] {
+			st.c.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races the parent's Wait (the PR 1 bug class): Add before the go statement",
+				shortWgClass(class))
+		}
+		return true
+	})
+
+	sum := st.summaryOf(callee)
+	var classes []string
+	for class, cnt := range sum.total {
+		if cnt.min != cnt.max && cnt.min < 0 && !sum.bail[class] {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		st.c.Reportf(site.Go.Pos(), "spawned goroutine calls %s.Done only conditionally: an exit path skips it and Wait hangs",
+			shortWgClass(class))
+	}
+}
+
+// checkWaitUnderLock flags wg.Wait() while a mutex is held.
+func (st *wgState) checkWaitUnderLock(fi *flow.FuncInfo) {
+	g := fi.CFG()
+	res := flow.Solve(g, lockAnalysis(st.c.Pkg))
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			held := res.Before(blk, i)
+			if len(held) == 0 {
+				continue
+			}
+			flow.Inspect(n, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					if sel, fn := wgMethod(st.c.Pkg, x); fn != nil && fn.Name() == "Wait" {
+						st.c.Reportf(x.Pos(), "%s.Wait while holding %s: goroutines needing the lock to finish can never let Wait return",
+							shortWgClass(lockClass(st.c.Pkg, sel.X)), strings.Join(held.sortedKeys(), ", "))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// shortWgClass trims a lockClass identity to its readable tail:
+// `pkg/path.Type.field` -> `Type.field`.
+func shortWgClass(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		class = class[i+1:]
+	}
+	if i := strings.Index(class, "."); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}

@@ -69,7 +69,8 @@ type OverloadResult struct {
 type overloadHandler struct {
 	inner dnsserver.Handler
 	mu    sync.Mutex
-	gate  chan struct{}
+	//ecschan:owner release
+	gate chan struct{}
 }
 
 func newOverloadHandler(inner dnsserver.Handler) *overloadHandler {
